@@ -1,0 +1,125 @@
+(* Benchmark harness: regenerates every figure/experiment from DESIGN.md's
+   index (printing the paper-style rows), then measures the cost of
+   regenerating each with Bechamel.
+
+   The regeneration pass uses the experiments' default parameters; the
+   Bechamel pass uses shortened scenarios so each sample stays cheap --
+   the benches measure harness cost, not paper numbers. *)
+
+open Bechamel
+open Toolkit
+
+let line title =
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline title;
+  print_endline (String.make 78 '=')
+
+let regenerate_all () =
+  line "FIG1 -- contention-prerequisite taxonomy";
+  Ccsim_core.Fig1_taxonomy.(print (run ()));
+  line "FIG2 -- M-Lab NDT categorization + change-point analysis";
+  Ccsim_core.Fig2.(print (run ()));
+  line "FIG3 -- Nimbus elasticity vs five cross-traffic types";
+  Ccsim_core.Fig3.(print (run ()));
+  line "E1 -- FIFO vs DRR fair queueing across CCA pairings";
+  Ccsim_core.E1_fq.(print (run ()));
+  line "E2 -- shaping/policing pin the allocation";
+  Ccsim_core.E2_throttle.(print (run ()));
+  line "E3 -- short flows vs the initial window";
+  Ccsim_core.E3_short_flows.(print (run ()));
+  line "E4 -- app-limited flows get their demand";
+  Ccsim_core.E4_app_limited.(print (run ()));
+  line "E5 -- ABR video bounds its demand";
+  Ccsim_core.E5_video.(print (run ()));
+  line "E6 -- sub-packet BDP starvation";
+  Ccsim_core.E6_subpacket.(print (run ()));
+  line "E7 -- token-bucket bursts cause jitter; FQ caps but cannot remove it";
+  Ccsim_core.E7_jitter.(print (run ()));
+  line "X1 -- utilization/delay trade-off under capacity variability";
+  Ccsim_core.X1_cellular.(print (run ()));
+  line "X2 -- Ware et al. harm matrix";
+  Ccsim_core.X2_harm.(print (run ()));
+  line "X3 -- per-flow vs per-user FQ vs the RCS share model";
+  Ccsim_core.X3_rcs.(print (run ()));
+  line "X4 -- scavenger software updates do not contend";
+  Ccsim_core.X4_scavenger.(print (run ()));
+  line "A1 -- ablation: Nimbus pulse amplitude";
+  Ccsim_core.A1_pulse_ablation.(print (run ()));
+  line "A2 -- ablation: change-point penalty";
+  Ccsim_core.A2_penalty_ablation.(print (run ()));
+  line "A3 -- ablation: DRR quantum";
+  Ccsim_core.A3_quantum_ablation.(print (run ()));
+  line "A4 -- ablation: buffer depth vs BBR/Reno share";
+  Ccsim_core.A4_buffer_ablation.(print (run ()))
+
+(* --- Bechamel timing of scaled-down regenerations --------------------------- *)
+
+let bench_tests =
+  Test.make_grouped ~name:"ccsim"
+    [
+      Test.make ~name:"fig1_taxonomy"
+        (Staged.stage (fun () -> ignore (Ccsim_core.Fig1_taxonomy.run ~duration:15.0 ())));
+      Test.make ~name:"fig2_mlab"
+        (Staged.stage (fun () -> ignore (Ccsim_core.Fig2.run ~n:1000 ())));
+      Test.make ~name:"fig3_elasticity"
+        (Staged.stage (fun () -> ignore (Ccsim_core.Fig3.run ~duration:12.0 ())));
+      Test.make ~name:"e1_fq_isolation"
+        (Staged.stage (fun () -> ignore (Ccsim_core.E1_fq.run ~duration:15.0 ())));
+      Test.make ~name:"e2_throttling"
+        (Staged.stage (fun () -> ignore (Ccsim_core.E2_throttle.run ~duration:8.0 ())));
+      Test.make ~name:"e3_short_flows"
+        (Staged.stage (fun () -> ignore (Ccsim_core.E3_short_flows.run ~duration:10.0 ())));
+      Test.make ~name:"e4_app_limited"
+        (Staged.stage (fun () -> ignore (Ccsim_core.E4_app_limited.run ~duration:8.0 ())));
+      Test.make ~name:"e5_video_abr"
+        (Staged.stage (fun () -> ignore (Ccsim_core.E5_video.run ~duration:25.0 ())));
+      Test.make ~name:"e6_subpacket"
+        (Staged.stage (fun () -> ignore (Ccsim_core.E6_subpacket.run ~duration:40.0 ())));
+      Test.make ~name:"e7_jitter"
+        (Staged.stage (fun () -> ignore (Ccsim_core.E7_jitter.run ~duration:8.0 ())));
+      Test.make ~name:"x1_cellular"
+        (Staged.stage (fun () -> ignore (Ccsim_core.X1_cellular.run ~duration:15.0 ())));
+      Test.make ~name:"x2_harm"
+        (Staged.stage (fun () -> ignore (Ccsim_core.X2_harm.run ~duration:12.0 ())));
+      Test.make ~name:"x3_rcs"
+        (Staged.stage (fun () -> ignore (Ccsim_core.X3_rcs.run ~duration:10.0 ())));
+      Test.make ~name:"x4_scavenger"
+        (Staged.stage (fun () -> ignore (Ccsim_core.X4_scavenger.run ~duration:40.0 ())));
+      Test.make ~name:"a1_pulse_ablation"
+        (Staged.stage (fun () -> ignore (Ccsim_core.A1_pulse_ablation.run ~duration:15.0 ())));
+      Test.make ~name:"a2_penalty_ablation"
+        (Staged.stage (fun () -> ignore (Ccsim_core.A2_penalty_ablation.run ~n:500 ())));
+      Test.make ~name:"a3_quantum_ablation"
+        (Staged.stage (fun () -> ignore (Ccsim_core.A3_quantum_ablation.run ~duration:15.0 ())));
+      Test.make ~name:"a4_buffer_ablation"
+        (Staged.stage (fun () -> ignore (Ccsim_core.A4_buffer_ablation.run ~duration:20.0 ())));
+    ]
+
+let run_benchmarks () =
+  line "Bechamel: regeneration cost per experiment (scaled-down scenarios)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:10 ~stabilize:false ~quota:(Time.second 5.0) ~kde:None () in
+  let raw = Benchmark.all cfg instances bench_tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Ccsim_util.Table.create
+      ~columns:[ ("bench", Ccsim_util.Table.Left); ("seconds/run", Ccsim_util.Table.Right) ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns ] -> rows := (name, Printf.sprintf "%.3f" (ns /. 1e9)) :: !rows
+      | Some _ | None -> rows := (name, "n/a") :: !rows)
+    results;
+  List.iter (fun (name, cell) -> Ccsim_util.Table.add_row table [ name; cell ])
+    (List.sort compare !rows);
+  Ccsim_util.Table.print table
+
+let () =
+  let only_bench = Array.exists (( = ) "--bench-only") Sys.argv in
+  let only_rows = Array.exists (( = ) "--rows-only") Sys.argv in
+  if not only_bench then regenerate_all ();
+  if not only_rows then run_benchmarks ()

@@ -1,0 +1,173 @@
+(* ccsim — regenerate the paper's figures and experiments from the CLI.
+
+   Each subcommand runs one experiment from DESIGN.md's index and prints
+   the paper-style rows. `ccsim all` runs everything (the same set the
+   bench harness regenerates). *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Deterministic seed for the experiment." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let duration_arg default =
+  let doc = "Simulated seconds per scenario." in
+  Arg.(value & opt float default & info [ "duration" ] ~docv:"SECONDS" ~doc)
+
+let fig1_cmd =
+  let run duration seed = Ccsim_core.Fig1_taxonomy.(print (run ~duration ~seed ())) in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Contention-prerequisite taxonomy behind Figure 1")
+    Term.(const run $ duration_arg 60.0 $ seed_arg)
+
+let fig2_cmd =
+  let n_arg =
+    let doc = "Number of NDT flows to generate (the paper used 9,984)." in
+    Arg.(value & opt int 9984 & info [ "flows" ] ~docv:"N" ~doc)
+  in
+  let run n seed = Ccsim_core.Fig2.(print (run ~n ~seed ())) in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"M-Lab NDT categorization + change-point analysis (Figure 2)")
+    Term.(const run $ n_arg $ seed_arg)
+
+let fig3_cmd =
+  let run duration seed = Ccsim_core.Fig3.(print (run ~duration ~seed ())) in
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Nimbus elasticity vs five cross-traffic types (Figure 3)")
+    Term.(const run $ duration_arg 45.0 $ seed_arg)
+
+let experiment name doc default_duration run_fn =
+  let run duration seed = run_fn ~duration ~seed in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ duration_arg default_duration $ seed_arg)
+
+let e1_cmd =
+  experiment "e1" "FIFO vs DRR fair queueing across CCA pairings" 60.0 (fun ~duration ~seed ->
+      Ccsim_core.E1_fq.(print (run ~duration ~seed ())))
+
+let e2_cmd =
+  experiment "e2" "Token-bucket shaping and policing pin the allocation" 30.0
+    (fun ~duration ~seed -> Ccsim_core.E2_throttle.(print (run ~duration ~seed ())))
+
+let e3_cmd =
+  experiment "e3" "Short flows fit in the initial window" 60.0 (fun ~duration ~seed ->
+      Ccsim_core.E3_short_flows.(print (run ~duration ~seed ())))
+
+let e4_cmd =
+  experiment "e4" "App-limited flows receive exactly their demand" 30.0 (fun ~duration ~seed ->
+      Ccsim_core.E4_app_limited.(print (run ~duration ~seed ())))
+
+let e5_cmd =
+  experiment "e5" "ABR video bounds its own demand" 60.0 (fun ~duration ~seed ->
+      Ccsim_core.E5_video.(print (run ~duration ~seed ())))
+
+let e6_cmd =
+  experiment "e6" "Sub-packet BDP starvation (Chen et al.)" 120.0 (fun ~duration ~seed ->
+      Ccsim_core.E6_subpacket.(print (run ~duration ~seed ())))
+
+let e7_cmd =
+  experiment "e7" "Token-bucket bursts cause jitter under fair queueing" 30.0
+    (fun ~duration ~seed -> Ccsim_core.E7_jitter.(print (run ~duration ~seed ())))
+
+let x1_cmd =
+  experiment "x1" "Utilization/delay trade-off on a wandering cellular-like link" 60.0
+    (fun ~duration ~seed -> Ccsim_core.X1_cellular.(print (run ~duration ~seed ())))
+
+let x2_cmd =
+  experiment "x2" "Ware et al. harm matrix across CCA pairings" 40.0 (fun ~duration ~seed ->
+      Ccsim_core.X2_harm.(print (run ~duration ~seed ())))
+
+let x3_cmd =
+  experiment "x3" "Per-flow vs per-user FQ vs the RCS share model" 40.0
+    (fun ~duration ~seed -> Ccsim_core.X3_rcs.(print (run ~duration ~seed ())))
+
+let x4_cmd =
+  experiment "x4" "Scavenger (LEDBAT) software updates do not contend" 90.0
+    (fun ~duration ~seed -> Ccsim_core.X4_scavenger.(print (run ~duration ~seed ())))
+
+let a1_cmd =
+  experiment "a1" "Ablation: Nimbus pulse amplitude vs separation" 45.0
+    (fun ~duration ~seed -> Ccsim_core.A1_pulse_ablation.(print (run ~duration ~seed ())))
+
+let a2_cmd =
+  let run seed = Ccsim_core.A2_penalty_ablation.(print (run ~seed ())) in
+  Cmd.v
+    (Cmd.info "a2" ~doc:"Ablation: change-point penalty vs detector accuracy")
+    Term.(const run $ seed_arg)
+
+let a3_cmd =
+  experiment "a3" "Ablation: DRR quantum vs isolation quality" 40.0 (fun ~duration ~seed ->
+      Ccsim_core.A3_quantum_ablation.(print (run ~duration ~seed ())))
+
+let a4_cmd =
+  experiment "a4" "Ablation: buffer depth vs BBR/Reno share" 60.0 (fun ~duration ~seed ->
+      Ccsim_core.A4_buffer_ablation.(print (run ~duration ~seed ())))
+
+let all_cmd =
+  let run seed =
+    Ccsim_core.Fig1_taxonomy.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.Fig2.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.Fig3.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.E1_fq.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.E2_throttle.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.E3_short_flows.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.E4_app_limited.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.E5_video.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.E6_subpacket.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.E7_jitter.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.X1_cellular.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.X2_harm.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.X3_rcs.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.X4_scavenger.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.A1_pulse_ablation.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.A2_penalty_ablation.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.A3_quantum_ablation.(print (run ~seed ()));
+    print_newline ();
+    Ccsim_core.A4_buffer_ablation.(print (run ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every figure and experiment in DESIGN.md order")
+    Term.(const run $ seed_arg)
+
+let main =
+  let doc = "reproduce 'How I Learned to Stop Worrying About CCA Contention' (HotNets '23)" in
+  Cmd.group
+    (Cmd.info "ccsim" ~version:"1.0.0" ~doc)
+    [
+      fig1_cmd;
+      fig2_cmd;
+      fig3_cmd;
+      e1_cmd;
+      e2_cmd;
+      e3_cmd;
+      e4_cmd;
+      e5_cmd;
+      e6_cmd;
+      e7_cmd;
+      x1_cmd;
+      x2_cmd;
+      x3_cmd;
+      x4_cmd;
+      a1_cmd;
+      a2_cmd;
+      a3_cmd;
+      a4_cmd;
+      all_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

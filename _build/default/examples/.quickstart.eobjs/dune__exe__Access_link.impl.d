@@ -1,0 +1,1 @@
+examples/access_link.ml: Ccsim_core Ccsim_net Ccsim_util Option Printf

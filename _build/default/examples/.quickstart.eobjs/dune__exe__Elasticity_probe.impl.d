@@ -1,0 +1,1 @@
+examples/elasticity_probe.ml: Ccsim_cca Ccsim_engine Ccsim_measure Ccsim_net Ccsim_tcp Ccsim_util List Printf

@@ -1,0 +1,1 @@
+examples/elasticity_probe.mli:

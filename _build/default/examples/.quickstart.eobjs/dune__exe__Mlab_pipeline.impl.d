@@ -1,0 +1,1 @@
+examples/mlab_pipeline.ml: Ccsim_core Ccsim_engine Ccsim_measure Ccsim_util Format List Option Printf

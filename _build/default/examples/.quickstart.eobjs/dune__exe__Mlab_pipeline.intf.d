@@ -1,0 +1,1 @@
+examples/mlab_pipeline.mli:

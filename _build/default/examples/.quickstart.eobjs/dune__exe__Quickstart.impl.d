@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ccsim_core Ccsim_util Format

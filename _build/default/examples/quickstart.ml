@@ -1,0 +1,27 @@
+(* Quickstart: two bulk flows with different CCAs share a bottleneck.
+
+   Run with: dune exec examples/quickstart.exe
+
+   This uses only the high-level Scenario API: describe the bottleneck,
+   list the flows, run, read per-flow results. *)
+
+module Scenario = Ccsim_core.Scenario
+module Results = Ccsim_core.Results
+module U = Ccsim_util
+
+let () =
+  let scenario =
+    Scenario.make ~name:"quickstart" ~rate_bps:(U.Units.mbps 48.0) ~delay_s:0.025
+      ~duration:30.0 ~warmup:5.0
+      [
+        Scenario.flow "cubic" ~cca:Scenario.Cubic ~app:Scenario.Bulk;
+        Scenario.flow "reno" ~cca:Scenario.Reno ~app:Scenario.Bulk;
+      ]
+  in
+  let result = Scenario.run scenario in
+  Format.printf "%a@." Results.pp_summary result;
+  let cubic = Results.find result "cubic" and reno = Results.find result "reno" in
+  Format.printf "cubic/reno goodput ratio: %.2f@."
+    (cubic.goodput_bps /. reno.goodput_bps);
+  Format.printf
+    "Try swapping the FIFO for fair queueing (~qdisc:(Drr ...)) and watch the ratio go to 1.@."

@@ -1,0 +1,1 @@
+lib/app/bulk.ml: Ccsim_engine Ccsim_tcp

@@ -1,0 +1,1 @@
+lib/app/bulk.mli: Ccsim_engine Ccsim_tcp

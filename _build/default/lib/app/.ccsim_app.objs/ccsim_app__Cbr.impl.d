@@ -1,0 +1,1 @@
+lib/app/cbr.ml: Ccsim_engine Ccsim_tcp Ccsim_util

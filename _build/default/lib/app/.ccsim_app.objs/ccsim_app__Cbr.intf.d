@@ -1,0 +1,1 @@
+lib/app/cbr.mli: Ccsim_engine Ccsim_tcp

@@ -1,0 +1,1 @@
+lib/app/onoff.mli: Ccsim_engine Ccsim_tcp Ccsim_util

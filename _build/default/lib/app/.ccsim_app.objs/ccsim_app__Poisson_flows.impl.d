@@ -1,0 +1,1 @@
+lib/app/poisson_flows.ml: Ccsim_cca Ccsim_engine Ccsim_net Ccsim_tcp Ccsim_util Float List

@@ -1,0 +1,1 @@
+lib/app/poisson_flows.mli: Ccsim_cca Ccsim_engine Ccsim_net Ccsim_util

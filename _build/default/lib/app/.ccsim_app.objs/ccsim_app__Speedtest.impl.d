@@ -1,0 +1,1 @@
+lib/app/speedtest.ml: Array Ccsim_engine Ccsim_tcp List

@@ -1,0 +1,1 @@
+lib/app/speedtest.mli: Ccsim_engine Ccsim_tcp

@@ -1,0 +1,1 @@
+lib/app/video.ml: Array Ccsim_engine Ccsim_tcp Ccsim_util Float

@@ -1,0 +1,1 @@
+lib/app/video.mli: Ccsim_engine Ccsim_tcp Ccsim_util

@@ -1,0 +1,17 @@
+module Sim = Ccsim_engine.Sim
+
+type t = { mutable started : bool }
+
+let start sim ~sender ?at ?stop_at () =
+  let t = { started = false } in
+  let begin_at = match at with None -> Sim.now sim | Some a -> a in
+  ignore
+    (Sim.schedule_at sim ~time:begin_at (fun () ->
+         t.started <- true;
+         Ccsim_tcp.Sender.set_unlimited sender));
+  (match stop_at with
+  | Some time -> ignore (Sim.schedule_at sim ~time (fun () -> Ccsim_tcp.Sender.close sender))
+  | None -> ());
+  t
+
+let started t = t.started

@@ -1,0 +1,34 @@
+(** Constant-bit-rate sources, over TCP or UDP.
+
+    The TCP variant writes [rate x tick] bytes to a sender's buffer each
+    tick, producing an *application-limited* flow whenever the network
+    can carry the rate (the common case the paper's §2.2 argues
+    dominates). The UDP variant is fully open-loop — the "CBR UDP"
+    cross traffic of Figure 3. *)
+
+type t
+
+val over_tcp :
+  Ccsim_engine.Sim.t ->
+  sender:Ccsim_tcp.Sender.t ->
+  rate_bps:float ->
+  ?tick:float ->
+  ?start:float ->
+  ?stop:float ->
+  unit ->
+  t
+(** Default [tick] 10 ms. Writing begins at [start] (default now) and
+    ends at [stop] (default: never). *)
+
+val over_udp :
+  Ccsim_engine.Sim.t ->
+  source:Ccsim_tcp.Udp.Source.t ->
+  rate_bps:float ->
+  ?packet_bytes:int ->
+  ?start:float ->
+  ?stop:float ->
+  unit ->
+  t
+(** Evenly spaced datagrams of [packet_bytes] (default MSS) payload. *)
+
+val bytes_offered : t -> int

@@ -1,0 +1,48 @@
+(** Poisson-arrival short-flow workload ("mice").
+
+    Spawns TCP flows with exponential inter-arrival times and
+    heavy-tailed (bounded-Pareto) sizes — the web-like traffic mix from
+    which §2.2 argues that most flows fit in the initial window and
+    never engage congestion avoidance. Each flow gets a fresh
+    connection; statistics record size, duration, and whether it ever
+    left the initial window. *)
+
+type flow_record = {
+  id : int;
+  size_bytes : int;
+  started : float;
+  mutable finished : float option;
+  mutable retransmits : int;
+  mutable fit_in_initial_window : bool;
+}
+
+type t
+
+val start :
+  Ccsim_engine.Sim.t ->
+  Ccsim_net.Topology.t ->
+  rng:Ccsim_util.Rng.t ->
+  arrival_rate:float ->
+  ?mean_size_bytes:float ->
+  ?pareto_shape:float ->
+  ?max_size_bytes:int ->
+  ?first_flow_id:int ->
+  ?cca:(unit -> Ccsim_cca.Cca.t) ->
+  ?stop:float ->
+  unit ->
+  t
+(** [arrival_rate] in flows/second. Sizes are bounded-Pareto with the
+    given mean-ish [scale] (default 30 kB mean target, shape 1.2, cap
+    10 MB). Flow ids count up from [first_flow_id] (default 1000) — keep
+    them disjoint from other flows on the topology. [cca] defaults to
+    NewReno. *)
+
+val flows : t -> flow_record list
+(** All spawned flows, oldest first. *)
+
+val completed : t -> flow_record list
+val spawn_count : t -> int
+
+val fraction_within_initial_window : t -> float
+(** Fraction of completed flows whose size fit in IW10 (so their CCA
+    never mattered). *)

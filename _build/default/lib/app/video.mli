@@ -1,0 +1,44 @@
+(** Adaptive-bitrate (ABR) video streaming client/server.
+
+    Downloads fixed-duration chunks over a TCP connection, choosing each
+    chunk's bitrate from a ladder with a buffer-aware, throughput-capped
+    policy (in the spirit of buffer-based ABR). Playback drains the
+    buffer in real time; rebuffering pauses it.
+
+    This is the paper's central example of *demand-bounded* traffic: even
+    when the network could deliver more, the stream never requests more
+    than its top ladder rung, and under congestion the ABR steps its
+    demand down instead of fighting — so "adaptive bitrate algorithms
+    would reduce video streams' throughput demand" (§2.2). *)
+
+type stats = {
+  chunks_downloaded : int;
+  mean_bitrate_bps : float;  (** mean of the chosen ladder rates *)
+  rebuffer_s : float;  (** total stall time after startup *)
+  switches : int;  (** number of bitrate changes *)
+  bitrate_series : Ccsim_util.Timeseries.t;  (** (request time, chosen bps) *)
+}
+
+type t
+
+val default_ladder_bps : float array
+(** 1, 2.5, 5, 8, 16 and 25 Mbit/s — topping out at the cloud-gaming-like
+    rates §2.2 cites (20–30 Mbit/s). *)
+
+val start :
+  Ccsim_engine.Sim.t ->
+  sender:Ccsim_tcp.Sender.t ->
+  ?ladder_bps:float array ->
+  ?chunk_duration:float ->
+  ?max_buffer_s:float ->
+  ?low_buffer_s:float ->
+  ?safety:float ->
+  ?stop:float ->
+  unit ->
+  t
+(** Defaults: 2 s chunks, 30 s max buffer, 5 s panic threshold, safety
+    factor 0.8 (pick the largest rung at most [safety] x estimated
+    throughput). The client polls download completion at 10 ms
+    granularity. *)
+
+val stats : t -> stats

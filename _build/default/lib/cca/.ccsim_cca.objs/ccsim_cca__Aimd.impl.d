@@ -1,0 +1,1 @@
+lib/cca/aimd.ml: Cca Ccsim_util Float Printf

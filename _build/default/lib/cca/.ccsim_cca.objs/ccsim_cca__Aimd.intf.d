@@ -1,0 +1,1 @@
+lib/cca/aimd.mli: Cca

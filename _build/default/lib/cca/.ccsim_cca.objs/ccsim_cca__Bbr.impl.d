@@ -1,0 +1,1 @@
+lib/cca/bbr.ml: Array Cca Ccsim_util Float List

@@ -1,0 +1,1 @@
+lib/cca/copa.mli: Cca

@@ -1,0 +1,1 @@
+lib/cca/cubic.ml: Cca Ccsim_util Float

@@ -1,0 +1,1 @@
+lib/cca/ledbat.ml: Cca Ccsim_util Float

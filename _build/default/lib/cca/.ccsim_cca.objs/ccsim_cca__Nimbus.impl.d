@@ -1,0 +1,1 @@
+lib/cca/nimbus.ml: Array Cca Ccsim_engine Ccsim_util Float

@@ -1,0 +1,1 @@
+lib/cca/nimbus.mli: Cca Ccsim_engine Ccsim_util

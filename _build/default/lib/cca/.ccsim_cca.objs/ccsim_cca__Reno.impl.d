@@ -1,0 +1,1 @@
+lib/cca/reno.ml: Cca Ccsim_util Float

@@ -1,0 +1,1 @@
+lib/cca/reno.mli: Cca

@@ -1,0 +1,1 @@
+lib/cca/tfrc.ml: Array Cca Ccsim_util Float List

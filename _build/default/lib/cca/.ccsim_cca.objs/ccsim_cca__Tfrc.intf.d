@@ -1,0 +1,1 @@
+lib/cca/tfrc.mli: Cca

@@ -1,0 +1,1 @@
+lib/cca/vegas.mli: Cca

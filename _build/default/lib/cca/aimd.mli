@@ -1,0 +1,9 @@
+(** Generic AIMD(a, b) congestion control (Chiu & Jain [13]).
+
+    Adds [a] MSS per RTT in congestion avoidance and multiplies the
+    window by [b] on loss. AIMD(1, 0.5) is Reno's congestion-avoidance
+    rule; more aggressive parameterizations model the proprietary
+    "custom algorithms" trend §2.1 describes. *)
+
+val create : ?mss:int -> ?a:float -> ?b:float -> ?initial_cwnd:float -> unit -> Cca.t
+(** Defaults: [a] = 1.0, [b] = 0.5. Requires [a > 0] and [0 < b < 1]. *)

@@ -1,0 +1,15 @@
+(** BBR congestion control (v1, simplified).
+
+    Model-based: estimates the bottleneck bandwidth (windowed max of
+    delivery-rate samples over ~10 RTTs) and the round-trip propagation
+    delay (windowed min over 10 s), paces at [gain x btlbw], and caps
+    inflight at [cwnd_gain x BDP]. State machine: STARTUP (gain 2.885)
+    until bandwidth stops growing, DRAIN, then PROBE_BW cycling gains
+    [1.25, 0.75, 1, 1, 1, 1, 1, 1], with periodic PROBE_RTT (cwnd of
+    4 MSS for 200 ms) to refresh the min-RTT estimate.
+
+    Faithful to v1's defining behaviour for the paper's purposes: it
+    largely ignores individual losses, which is what makes it take more
+    than its fair share against Reno/Cubic on FIFO bottlenecks [2]. *)
+
+val create : ?mss:int -> ?initial_cwnd:float -> unit -> Cca.t

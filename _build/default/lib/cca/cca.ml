@@ -1,0 +1,41 @@
+type ack_info = {
+  now : float;
+  rtt_sample : float option;
+  srtt : float;
+  min_rtt : float;
+  newly_acked : int;
+  inflight : int;
+  delivery_rate : float;
+  app_limited : bool;
+  mss : int;
+}
+
+type loss_info = { now : float; inflight : int; mss : int }
+
+type t = {
+  name : string;
+  mutable cwnd : float;
+  mutable pacing_rate : float;
+  mutable on_ack : ack_info -> unit;
+  mutable on_loss : loss_info -> unit;
+  mutable on_rto : now:float -> unit;
+  mutable on_send : now:float -> bytes:int -> unit;
+}
+
+let initial_window ~mss = 10.0 *. float_of_int mss
+
+let hystart_delay_exceeded ~min_rtt ~rtt =
+  Float.is_finite min_rtt && min_rtt > 0.0 && rtt > min_rtt +. Float.max 0.004 (min_rtt /. 8.0)
+
+let make ~name ?(cwnd = initial_window ~mss:Ccsim_util.Units.mss) ?(pacing_rate = infinity)
+    ?(on_ack = fun _ -> ()) ?(on_loss = fun _ -> ()) ?(on_rto = fun ~now:_ -> ())
+    ?(on_send = fun ~now:_ ~bytes:_ -> ()) () =
+  { name; cwnd; pacing_rate; on_ack; on_loss; on_rto; on_send }
+
+let fixed_window ~cwnd_bytes =
+  if cwnd_bytes <= 0 then invalid_arg "Cca.fixed_window: cwnd must be positive";
+  make ~name:"fixed-window" ~cwnd:(float_of_int cwnd_bytes) ()
+
+let fixed_rate ~rate_bps =
+  if rate_bps <= 0.0 then invalid_arg "Cca.fixed_rate: rate must be positive";
+  make ~name:"fixed-rate" ~cwnd:1e12 ~pacing_rate:rate_bps ()

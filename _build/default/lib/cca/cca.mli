@@ -1,0 +1,77 @@
+(** Congestion-control algorithm interface.
+
+    A CCA is a record of closures created per connection. The TCP sender
+    reads [cwnd] (bytes) and [pacing_rate] (bit/s; [infinity] disables
+    pacing) before each transmission and informs the CCA of acks, loss
+    events (once per fast-recovery episode), retransmission timeouts, and
+    transmissions. Implementations mutate their own [cwnd]/[pacing_rate]
+    fields. *)
+
+type ack_info = {
+  now : float;
+  rtt_sample : float option;
+      (** RTT measured from this ack; [None] when the acked segment was a
+          retransmission (Karn's rule). *)
+  srtt : float;  (** smoothed RTT, 0 until the first sample *)
+  min_rtt : float;  (** connection lifetime minimum RTT *)
+  newly_acked : int;  (** bytes newly cumulatively acknowledged *)
+  inflight : int;  (** bytes outstanding after this ack *)
+  delivery_rate : float;
+      (** delivery-rate sample in bit/s (BBR-style: delivered-bytes delta
+          over the acked segment's flight time); 0 until measurable *)
+  app_limited : bool;
+      (** the sample was taken while the sender had no data to send, so
+          rate samples underestimate capacity *)
+  mss : int;
+}
+
+type loss_info = {
+  now : float;
+  inflight : int;  (** bytes outstanding when loss was detected *)
+  mss : int;
+}
+
+type t = {
+  name : string;
+  mutable cwnd : float;  (** congestion window, bytes *)
+  mutable pacing_rate : float;  (** bit/s; [infinity] = unpaced *)
+  mutable on_ack : ack_info -> unit;
+  mutable on_loss : loss_info -> unit;
+      (** fast-retransmit loss detected; called once per recovery episode *)
+  mutable on_rto : now:float -> unit;
+  mutable on_send : now:float -> bytes:int -> unit;
+      (** a segment was transmitted *)
+}
+(** Handler fields are mutable so an implementation can first allocate
+    the record, then install closures that mutate that same record —
+    avoiding a recursive-value definition. *)
+
+val initial_window : mss:int -> float
+(** RFC 6928 initial window: 10 MSS, in bytes. *)
+
+val hystart_delay_exceeded : min_rtt:float -> rtt:float -> bool
+(** HyStart's delay-increase heuristic: true when an RTT sample exceeds
+    the minimum by max(4 ms, min_rtt / 8) — the cue for a slow-start
+    exit before the queue overflows. False until a minimum exists. *)
+
+val make :
+  name:string ->
+  ?cwnd:float ->
+  ?pacing_rate:float ->
+  ?on_ack:(ack_info -> unit) ->
+  ?on_loss:(loss_info -> unit) ->
+  ?on_rto:(now:float -> unit) ->
+  ?on_send:(now:float -> bytes:int -> unit) ->
+  unit ->
+  t
+(** Build a CCA record with no-op defaults — used by tests and by
+    fixed-window pseudo-CCAs. Default cwnd is [initial_window ~mss:1448];
+    default pacing is unpaced. *)
+
+val fixed_window : cwnd_bytes:int -> t
+(** Degenerate CCA that never changes its window; useful as an
+    experimental control. *)
+
+val fixed_rate : rate_bps:float -> t
+(** Degenerate CCA with an effectively unlimited window and a fixed
+    pacing rate; models naive CBR-over-reliable-transport. *)

@@ -1,0 +1,74 @@
+(* Internally CUBIC operates on windows in units of MSS, as in the RFC. *)
+let create ?(mss = Ccsim_util.Units.mss) ?(c = 0.4) ?(beta = 0.7) ?initial_cwnd
+    ?(hystart = false) () =
+  if c <= 0.0 then invalid_arg "Cubic.create: c must be positive";
+  if beta <= 0.0 || beta >= 1.0 then invalid_arg "Cubic.create: beta must be in (0,1)";
+  let fmss = float_of_int mss in
+  let initial = match initial_cwnd with Some w -> w | None -> Cca.initial_window ~mss in
+  let cca = Cca.make ~name:"cubic" ~cwnd:initial () in
+  let ssthresh = ref infinity in
+  let w_max = ref 0.0 in
+  let k = ref 0.0 in
+  let epoch_start = ref None in
+  let w_est = ref 0.0 in
+  let enter_epoch now =
+    epoch_start := Some now;
+    let w_mss = cca.cwnd /. fmss in
+    if w_mss < !w_max then k := Float.cbrt (!w_max *. (1.0 -. beta) /. c)
+    else begin
+      (* We are already above the last W_max: restart the cubic from here. *)
+      w_max := w_mss;
+      k := 0.0
+    end;
+    w_est := w_mss
+  in
+  let on_ack (info : Cca.ack_info) =
+    let acked = float_of_int info.newly_acked in
+    if cca.cwnd < !ssthresh then begin
+      (match info.rtt_sample with
+      | Some rtt when hystart && Cca.hystart_delay_exceeded ~min_rtt:info.min_rtt ~rtt ->
+          ssthresh := cca.cwnd
+      | Some _ | None -> ());
+      if cca.cwnd < !ssthresh then cca.cwnd <- cca.cwnd +. acked
+    end
+    else begin
+      (match !epoch_start with None -> enter_epoch info.now | Some _ -> ());
+      match !epoch_start with
+      | None -> assert false
+      | Some t0 ->
+          let rtt = if info.srtt > 0.0 then info.srtt else 0.1 in
+          let t = info.now -. t0 +. rtt in
+          let target = (c *. ((t -. !k) ** 3.0)) +. !w_max in
+          (* TCP-friendly window estimate (RFC 8312 §4.2). *)
+          let ack_frac = acked /. fmss in
+          w_est :=
+            !w_est +. (3.0 *. (1.0 -. beta) /. (1.0 +. beta) *. ack_frac /. (cca.cwnd /. fmss));
+          let w_mss = cca.cwnd /. fmss in
+          let next =
+            if target > w_mss then w_mss +. ((target -. w_mss) /. w_mss *. ack_frac)
+            else w_mss +. (0.01 *. ack_frac /. w_mss)
+          in
+          let next = Float.max next !w_est in
+          cca.cwnd <- next *. fmss
+    end
+  in
+  let on_loss (info : Cca.loss_info) =
+    let w_mss = cca.cwnd /. fmss in
+    (* Fast convergence (RFC 8312 §4.6). *)
+    w_max := if w_mss < !w_max then w_mss *. (1.0 +. beta) /. 2.0 else w_mss;
+    ssthresh := Float.max (cca.cwnd *. beta) (2.0 *. fmss);
+    cca.cwnd <- !ssthresh;
+    epoch_start := None;
+    ignore info
+  in
+  let on_rto ~now:_ =
+    let w_mss = cca.cwnd /. fmss in
+    w_max := w_mss;
+    ssthresh := Float.max (cca.cwnd *. beta) (2.0 *. fmss);
+    cca.cwnd <- fmss;
+    epoch_start := None
+  in
+  cca.Cca.on_ack <- on_ack;
+  cca.Cca.on_loss <- on_loss;
+  cca.Cca.on_rto <- on_rto;
+  cca

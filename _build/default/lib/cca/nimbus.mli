@@ -1,0 +1,53 @@
+(** Nimbus (Goyal et al., SIGCOMM '22): rate-based congestion control
+    with elasticity detection, the instrument behind the paper's §3.2
+    active-measurement proposal.
+
+    The sender superimposes small sinusoidal pulses (amplitude
+    [pulse_amplitude] x its base rate, frequency [pulse_freq_hz]) on its
+    pacing rate and estimates the cross-traffic rate
+
+      z(t) = mu x r_in(t) / r_out(t) − r_in(t)
+
+    from its own send rate [r_in], delivery rate [r_out], and a
+    bottleneck-capacity estimate [mu]. If the cross traffic is *elastic*
+    (buffer-filling CCAs such as Reno or BBR), it reacts to the pulses
+    within an RTT and z(t) oscillates at the pulse frequency; inelastic
+    traffic (CBR, application-limited video, short flows) does not. The
+    elasticity metric is the FFT magnitude of z at the pulse frequency
+    normalized by the FFT magnitude of the sender's own rate at that
+    frequency, so a fully mirroring elastic response scores ~1 and
+    unresponsive cross traffic scores ~0.
+
+    With [mode_switching] on, the flow uses delay-based control when
+    elasticity is low and switches to a TCP-competitive (virtual-Reno)
+    rate when elasticity is high. The paper's measurement tool *disables*
+    mode switching and keeps the pulses, using the reported elasticity
+    purely as a contention signal — that is [`create ~mode_switching:false`]. *)
+
+type handle = {
+  elasticity : Ccsim_util.Timeseries.t;
+      (** (time, elasticity) samples, one per estimation interval once the
+          FFT window has filled *)
+  cross_rate : Ccsim_util.Timeseries.t;  (** (time, z) samples in bit/s *)
+  mode : unit -> [ `Delay | `Competitive ];
+  capacity_estimate : unit -> float;  (** current mu, bit/s *)
+}
+
+val create :
+  Ccsim_engine.Sim.t ->
+  ?mss:int ->
+  ?pulse_freq_hz:float ->
+  ?pulse_amplitude:float ->
+  ?sample_rate_hz:float ->
+  ?fft_size:int ->
+  ?mode_switching:bool ->
+  ?known_capacity_bps:float ->
+  ?elastic_threshold:float ->
+  unit ->
+  Cca.t * handle
+(** Defaults: 5 Hz pulses at 0.25 amplitude, 100 Hz sampling, 512-point
+    FFT (5.12 s window), mode switching on, elasticity threshold 0.5
+    (with enter/exit hysteresis at 0.5/0.25). [known_capacity_bps] pins
+    mu (as in a controlled emulation); otherwise mu is the windowed max
+    of observed delivery rates. The sampling/pulse machinery runs on sim
+    timers for the lifetime of the simulation. *)

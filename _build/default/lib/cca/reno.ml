@@ -1,0 +1,36 @@
+let create ?(mss = Ccsim_util.Units.mss) ?initial_cwnd ?(hystart = false) () =
+  let fmss = float_of_int mss in
+  let initial =
+    match initial_cwnd with Some c -> c | None -> Cca.initial_window ~mss
+  in
+  let ssthresh = ref infinity in
+  let cca =
+    Cca.make ~name:"reno" ~cwnd:initial ()
+  in
+  let on_ack (info : Cca.ack_info) =
+    let acked = float_of_int info.newly_acked in
+    if cca.cwnd < !ssthresh then begin
+      (* Slow start: grow by the acked bytes (doubling per RTT), with an
+         optional HyStart delay-increase exit. *)
+      (match info.rtt_sample with
+      | Some rtt when hystart && Cca.hystart_delay_exceeded ~min_rtt:info.min_rtt ~rtt ->
+          ssthresh := cca.cwnd
+      | Some _ | None -> ());
+      if cca.cwnd < !ssthresh then cca.cwnd <- cca.cwnd +. acked
+    end
+    else
+      (* Congestion avoidance: one MSS per window's worth of acks. *)
+      cca.cwnd <- cca.cwnd +. (fmss *. acked /. cca.cwnd)
+  in
+  let on_loss (_ : Cca.loss_info) =
+    ssthresh := Float.max (cca.cwnd /. 2.0) (2.0 *. fmss);
+    cca.cwnd <- !ssthresh
+  in
+  let on_rto ~now:_ =
+    ssthresh := Float.max (cca.cwnd /. 2.0) (2.0 *. fmss);
+    cca.cwnd <- fmss
+  in
+  cca.Cca.on_ack <- on_ack;
+  cca.Cca.on_loss <- on_loss;
+  cca.Cca.on_rto <- on_rto;
+  cca

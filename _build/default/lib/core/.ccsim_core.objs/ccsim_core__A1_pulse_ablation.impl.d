@@ -1,0 +1,1 @@
+lib/core/a1_pulse_ablation.ml: Array Ccsim_app Ccsim_cca Ccsim_engine Ccsim_net Ccsim_tcp Ccsim_util List

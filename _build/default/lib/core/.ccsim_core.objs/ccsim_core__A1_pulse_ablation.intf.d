@@ -1,0 +1,1 @@
+lib/core/a1_pulse_ablation.mli:

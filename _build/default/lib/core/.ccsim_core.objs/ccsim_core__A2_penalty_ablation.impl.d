@@ -1,0 +1,1 @@
+lib/core/a2_penalty_ablation.ml: Array Ccsim_measure Ccsim_util List

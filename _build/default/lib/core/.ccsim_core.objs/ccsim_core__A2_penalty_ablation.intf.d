@@ -1,0 +1,1 @@
+lib/core/a2_penalty_ablation.mli:

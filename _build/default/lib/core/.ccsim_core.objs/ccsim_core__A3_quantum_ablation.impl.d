@@ -1,0 +1,1 @@
+lib/core/a3_quantum_ablation.ml: Ccsim_util List Printf Results Scenario

@@ -1,0 +1,1 @@
+lib/core/a3_quantum_ablation.mli:

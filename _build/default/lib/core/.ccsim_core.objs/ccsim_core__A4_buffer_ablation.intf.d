@@ -1,0 +1,1 @@
+lib/core/a4_buffer_ablation.mli:

@@ -1,0 +1,1 @@
+lib/core/e1_fq.ml: Ccsim_util List Printf Results Scenario

@@ -1,0 +1,1 @@
+lib/core/e1_fq.mli:

@@ -1,0 +1,1 @@
+lib/core/e2_throttle.ml: Ccsim_net Ccsim_util List Printf Results Scenario

@@ -1,0 +1,1 @@
+lib/core/e2_throttle.mli:

@@ -1,0 +1,1 @@
+lib/core/e3_short_flows.mli:

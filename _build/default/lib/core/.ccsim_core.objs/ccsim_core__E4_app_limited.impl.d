@@ -1,0 +1,1 @@
+lib/core/e4_app_limited.ml: Ccsim_util Float List Printf Results Scenario

@@ -1,0 +1,1 @@
+lib/core/e4_app_limited.mli:

@@ -1,0 +1,1 @@
+lib/core/e5_video.ml: Ccsim_util List Printf Results Scenario

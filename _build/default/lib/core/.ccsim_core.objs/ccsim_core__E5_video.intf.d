@@ -1,0 +1,1 @@
+lib/core/e5_video.mli:

@@ -1,0 +1,1 @@
+lib/core/e6_subpacket.ml: Array Ccsim_util Float List Printf Results Scenario

@@ -1,0 +1,1 @@
+lib/core/e6_subpacket.mli:

@@ -1,0 +1,1 @@
+lib/core/e7_jitter.ml: Ccsim_net Ccsim_util List Printf Results Scenario

@@ -1,0 +1,1 @@
+lib/core/e7_jitter.mli:

@@ -1,0 +1,1 @@
+lib/core/fig1_taxonomy.ml: Ccsim_net Ccsim_util Float List Results Scenario

@@ -1,0 +1,1 @@
+lib/core/fig1_taxonomy.mli:

@@ -1,0 +1,1 @@
+lib/core/fig2.ml: Ccsim_measure Ccsim_util Printf

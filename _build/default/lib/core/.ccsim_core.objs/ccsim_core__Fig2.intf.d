@@ -1,0 +1,1 @@
+lib/core/fig2.mli: Ccsim_measure

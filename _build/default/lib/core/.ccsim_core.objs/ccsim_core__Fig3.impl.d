@@ -1,0 +1,1 @@
+lib/core/fig3.ml: Array Ccsim_util List Printf Results Scenario

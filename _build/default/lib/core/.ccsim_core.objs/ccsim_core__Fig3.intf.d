@@ -1,0 +1,1 @@
+lib/core/fig3.mli: Ccsim_util

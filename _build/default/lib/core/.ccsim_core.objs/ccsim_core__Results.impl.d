@@ -1,0 +1,1 @@
+lib/core/results.ml: Array Ccsim_app Ccsim_cca Ccsim_tcp Ccsim_util Format List

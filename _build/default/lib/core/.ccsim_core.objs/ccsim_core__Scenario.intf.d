@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Ccsim_cca Ccsim_engine Ccsim_net Results

@@ -1,0 +1,1 @@
+lib/core/x1_cellular.ml: Ccsim_util Float List Results Scenario

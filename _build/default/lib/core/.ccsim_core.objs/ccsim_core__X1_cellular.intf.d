@@ -1,0 +1,1 @@
+lib/core/x1_cellular.mli:

@@ -1,0 +1,1 @@
+lib/core/x2_harm.ml: Ccsim_util Float List Printf Results Scenario

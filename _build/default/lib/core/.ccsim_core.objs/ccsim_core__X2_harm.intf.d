@@ -1,0 +1,1 @@
+lib/core/x2_harm.mli:

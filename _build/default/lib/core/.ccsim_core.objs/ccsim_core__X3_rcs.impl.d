@@ -1,0 +1,1 @@
+lib/core/x3_rcs.ml: Ccsim_cca Ccsim_engine Ccsim_measure Ccsim_net Ccsim_tcp Ccsim_util Float List

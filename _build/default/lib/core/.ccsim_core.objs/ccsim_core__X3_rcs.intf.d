@@ -1,0 +1,1 @@
+lib/core/x3_rcs.mli:

@@ -1,0 +1,1 @@
+lib/core/x4_scavenger.ml: Ccsim_util List Results Scenario

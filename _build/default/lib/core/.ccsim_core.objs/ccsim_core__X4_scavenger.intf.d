@@ -1,0 +1,1 @@
+lib/core/x4_scavenger.mli:

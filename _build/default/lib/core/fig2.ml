@@ -1,0 +1,53 @@
+module U = Ccsim_util
+module M = Ccsim_measure
+
+type output = {
+  report : M.Mlab_analysis.report;
+  accuracy : M.Mlab_analysis.accuracy option;
+}
+
+let run ?(n = 9984) ?(seed = 42) () =
+  let rng = U.Rng.create seed in
+  let records = M.Ndt.generate ~rng ~n () in
+  let report = M.Mlab_analysis.analyze records in
+  { report; accuracy = M.Mlab_analysis.score_against_ground_truth report }
+
+let print { report; accuracy } =
+  print_endline "Figure 2: M-Lab NDT categorization and throughput change analysis";
+  Printf.printf "(synthetic NDT population of %d flows; see DESIGN.md for the substitution)\n"
+    report.total;
+  let table =
+    U.Table.create
+      ~columns:[ ("category", U.Table.Left); ("flows", U.Table.Right); ("share", U.Table.Right) ]
+  in
+  let pct k = U.Table.cell_pct (float_of_int k /. float_of_int (max 1 report.total)) in
+  U.Table.add_row table [ "application-limited"; string_of_int report.n_app_limited; pct report.n_app_limited ];
+  U.Table.add_row table [ "receiver-limited"; string_of_int report.n_rwnd_limited; pct report.n_rwnd_limited ];
+  U.Table.add_row table [ "cellular"; string_of_int report.n_cellular; pct report.n_cellular ];
+  U.Table.add_row table [ "contention candidates"; string_of_int report.n_candidates; pct report.n_candidates ];
+  U.Table.add_rule table;
+  U.Table.add_row table
+    [
+      "with contention-consistent shifts";
+      string_of_int report.n_contention_consistent;
+      pct report.n_contention_consistent;
+    ];
+  U.Table.print table;
+  (match report.change_count_cdf with
+  | Some cdf ->
+      Printf.printf "(b) change points per candidate flow: p50=%.0f p90=%.0f max=%.0f\n"
+        (U.Cdf.quantile cdf 0.5) (U.Cdf.quantile cdf 0.9) (U.Cdf.max_value cdf)
+  | None -> ());
+  (match report.shift_cdf with
+  | Some cdf ->
+      Printf.printf
+        "(c) largest level shift / mean throughput among candidates: p50=%.2f p90=%.2f\n"
+        (U.Cdf.quantile cdf 0.5) (U.Cdf.quantile cdf 0.9)
+  | None -> ());
+  (match accuracy with
+  | Some a ->
+      Printf.printf
+        "detector vs ground truth (positives = genuinely contended): precision=%.2f recall=%.2f (tp=%d fp=%d fn=%d tn=%d)\n"
+        a.precision a.recall a.true_positives a.false_positives a.false_negatives
+        a.true_negatives
+  | None -> ())

@@ -1,0 +1,106 @@
+type id = { mutable cancelled : bool }
+
+type 'a entry = { time : float; seq : int; payload : 'a; id : id }
+
+type 'a t = {
+  mutable data : 'a entry array option;
+  (* [data] is [None] only when empty; entries beyond [len] are stale. *)
+  mutable len : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create () = { data = None; len = 0; next_seq = 0; live = 0 }
+
+let entry_before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap arr i j =
+  let tmp = arr.(i) in
+  arr.(i) <- arr.(j);
+  arr.(j) <- tmp
+
+let rec sift_up arr i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before arr.(i) arr.(parent) then begin
+      swap arr i parent;
+      sift_up arr parent
+    end
+  end
+
+let rec sift_down arr len i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < len && entry_before arr.(l) arr.(!smallest) then smallest := l;
+  if r < len && entry_before arr.(r) arr.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap arr i !smallest;
+    sift_down arr len !smallest
+  end
+
+let add t ~time payload =
+  let id = { cancelled = false } in
+  let entry = { time; seq = t.next_seq; payload; id } in
+  t.next_seq <- t.next_seq + 1;
+  (match t.data with
+  | None -> t.data <- Some (Array.make 16 entry)
+  | Some arr when t.len = Array.length arr ->
+      let bigger = Array.make (2 * t.len) entry in
+      Array.blit arr 0 bigger 0 t.len;
+      t.data <- Some bigger
+  | Some _ -> ());
+  (match t.data with
+  | None -> assert false
+  | Some arr ->
+      arr.(t.len) <- entry;
+      t.len <- t.len + 1;
+      sift_up arr (t.len - 1));
+  t.live <- t.live + 1;
+  id
+
+let cancel t id =
+  if not id.cancelled then begin
+    id.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pop_entry t =
+  match t.data with
+  | None -> None
+  | Some arr ->
+      if t.len = 0 then None
+      else begin
+        let top = arr.(0) in
+        t.len <- t.len - 1;
+        if t.len > 0 then begin
+          arr.(0) <- arr.(t.len);
+          sift_down arr t.len 0
+        end;
+        Some top
+      end
+
+let rec pop t =
+  match pop_entry t with
+  | None -> None
+  | Some entry ->
+      if entry.id.cancelled then pop t
+      else begin
+        entry.id.cancelled <- true;
+        (* fired events count as consumed *)
+        t.live <- t.live - 1;
+        Some (entry.time, entry.payload)
+      end
+
+let rec peek_time t =
+  match t.data with
+  | None -> None
+  | Some arr ->
+      if t.len = 0 then None
+      else if arr.(0).id.cancelled then begin
+        ignore (pop_entry t);
+        peek_time t
+      end
+      else Some arr.(0).time
+
+let size t = t.live
+let is_empty t = t.live = 0

@@ -1,0 +1,35 @@
+(** Binary min-heap of timed events with O(log n) insert/extract and
+    O(1) lazy cancellation.
+
+    Keys are (time, sequence) pairs; the sequence number breaks ties so
+    that events scheduled for the same instant fire in scheduling order —
+    a property the TCP model relies on (e.g. an ack arriving "at the same
+    time" as a timer must be processed deterministically). *)
+
+type 'a t
+
+type id
+(** Handle for cancellation. *)
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:float -> 'a -> id
+(** Insert an event; [time] may be any float (caller enforces
+    monotonicity policies). *)
+
+val cancel : 'a t -> id -> unit
+(** Mark an event as cancelled. Cancelled events are skipped by
+    {!pop}; cancelling twice or cancelling an already-fired event is a
+    no-op. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest non-cancelled event, or [None] when
+    the heap has none left. *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest non-cancelled event without removing it. *)
+
+val size : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool

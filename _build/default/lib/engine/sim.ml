@@ -1,0 +1,62 @@
+type event_id = Event_heap.id
+
+type t = {
+  heap : (unit -> unit) Event_heap.t;
+  mutable clock : float;
+  mutable stopped : bool;
+}
+
+let create () = { heap = Event_heap.create (); clock = 0.0; stopped = false }
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Sim.schedule_at: time precedes the clock";
+  Event_heap.add t.heap ~time f
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  Event_heap.add t.heap ~time:(t.clock +. delay) f
+
+let cancel t id = Event_heap.cancel t.heap id
+
+let step t =
+  match Event_heap.pop t.heap with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      f ();
+      true
+
+let run ?until t =
+  t.stopped <- false;
+  let horizon = match until with None -> infinity | Some u -> u in
+  let continue = ref true in
+  while !continue && not t.stopped do
+    match Event_heap.peek_time t.heap with
+    | None -> continue := false
+    | Some time when time > horizon -> continue := false
+    | Some _ -> ignore (step t)
+  done;
+  (match until with
+  | Some u when t.clock < u && not t.stopped -> t.clock <- u
+  | Some _ | None -> ())
+
+let pending t = Event_heap.size t.heap
+let stop t = t.stopped <- true
+
+let every t ~interval ?start ?(stop_after = infinity) f =
+  if interval <= 0.0 then invalid_arg "Sim.every: interval must be positive";
+  let first = match start with None -> t.clock +. interval | Some s -> s in
+  let rec tick () =
+    if t.clock <= stop_after then begin
+      f ();
+      if t.clock +. interval <= stop_after then ignore (schedule t ~delay:interval tick)
+    end
+  in
+  if first <= stop_after then ignore (schedule_at t ~time:first tick)
+
+let after_n t ~n ~interval f =
+  if interval <= 0.0 then invalid_arg "Sim.after_n: interval must be positive";
+  for i = 0 to n - 1 do
+    ignore (schedule t ~delay:(float_of_int (i + 1) *. interval) (fun () -> f i))
+  done

@@ -1,0 +1,48 @@
+(** Discrete-event simulation core: virtual clock + event loop.
+
+    All simulator components close over a [Sim.t] and schedule thunks.
+    Running is single-threaded and deterministic: events at equal times
+    fire in scheduling order. *)
+
+type t
+
+type event_id
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds (0 at creation). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> event_id
+(** [schedule sim ~delay f] runs [f] at [now + delay]. [delay] must be
+    non-negative (raises [Invalid_argument] otherwise). *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+(** Absolute-time variant; [time] must not precede [now]. *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending event; no-op if already fired or cancelled. *)
+
+val run : ?until:float -> t -> unit
+(** Process events in time order until the heap is empty or the clock
+    would pass [until]. With [until], the clock is left at exactly
+    [until] afterwards, and events scheduled at [until] fire. *)
+
+val step : t -> bool
+(** Process a single event; [false] when none remain. *)
+
+val pending : t -> int
+(** Number of live scheduled events. *)
+
+val stop : t -> unit
+(** Make the current {!run} return after the in-progress event completes;
+    pending events remain queued. *)
+
+val every : t -> interval:float -> ?start:float -> ?stop_after:float -> (unit -> unit) -> unit
+(** [every sim ~interval f] runs [f] at [start] (default [now + interval])
+    and every [interval] thereafter, until [stop_after] (absolute time,
+    default never) or the end of the run. [interval] must be positive. *)
+
+val after_n : t -> n:int -> interval:float -> (int -> unit) -> unit
+(** Run a callback [n] times, [interval] apart, starting one interval from
+    now; the callback receives the 0-based tick index. *)

@@ -1,0 +1,1 @@
+lib/measure/changepoint.ml: Array Ccsim_util Float List

@@ -1,0 +1,1 @@
+lib/measure/elasticity.ml: Array Ccsim_util Float

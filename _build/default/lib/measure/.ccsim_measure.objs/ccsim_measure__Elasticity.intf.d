@@ -1,0 +1,1 @@
+lib/measure/elasticity.mli: Ccsim_util

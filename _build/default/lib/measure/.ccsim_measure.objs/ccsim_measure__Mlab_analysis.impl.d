@@ -1,0 +1,1 @@
+lib/measure/mlab_analysis.ml: Array Ccsim_util Changepoint Float Format List Ndt Option

@@ -1,0 +1,1 @@
+lib/measure/mlab_analysis.mli: Ccsim_util Format Ndt

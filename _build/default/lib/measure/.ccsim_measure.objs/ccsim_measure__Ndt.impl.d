@@ -1,0 +1,1 @@
+lib/measure/ndt.ml: Array Ccsim_tcp Ccsim_util Float List

@@ -1,0 +1,1 @@
+lib/measure/ndt.mli: Ccsim_tcp Ccsim_util

@@ -1,0 +1,1 @@
+lib/measure/rcs.ml: Array Ccsim_util Float List

@@ -1,0 +1,1 @@
+lib/measure/telemetry.ml: Array Ccsim_engine Ccsim_net Ccsim_tcp Ccsim_util Float List

@@ -1,0 +1,1 @@
+lib/measure/telemetry.mli: Ccsim_engine Ccsim_net Ccsim_tcp Ccsim_util

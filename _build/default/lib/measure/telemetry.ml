@@ -1,0 +1,85 @@
+module Sim = Ccsim_engine.Sim
+module U = Ccsim_util
+
+module Flow_monitor = struct
+  type t = {
+    acked : U.Timeseries.t;
+    throughput : U.Timeseries.t;
+    cwnd : U.Timeseries.t;
+    srtt : U.Timeseries.t;
+    mutable snapshots : Ccsim_tcp.Tcp_info.t list;
+    mutable last_acked : int;
+    mutable last_time : float;
+  }
+
+  let create sim ~sender ?(interval = 0.1) () =
+    let t =
+      {
+        acked = U.Timeseries.create ();
+        throughput = U.Timeseries.create ();
+        cwnd = U.Timeseries.create ();
+        srtt = U.Timeseries.create ();
+        snapshots = [];
+        last_acked = Ccsim_tcp.Sender.bytes_acked sender;
+        last_time = Sim.now sim;
+      }
+    in
+    Sim.every sim ~interval (fun () ->
+        let now = Sim.now sim in
+        let info = Ccsim_tcp.Sender.info sender in
+        t.snapshots <- info :: t.snapshots;
+        U.Timeseries.add t.acked ~time:now ~value:(float_of_int info.bytes_acked);
+        U.Timeseries.add t.cwnd ~time:now ~value:info.cwnd_bytes;
+        U.Timeseries.add t.srtt ~time:now ~value:info.srtt;
+        let dt = now -. t.last_time in
+        if dt > 0.0 then
+          U.Timeseries.add t.throughput ~time:now
+            ~value:(float_of_int (info.bytes_acked - t.last_acked) *. 8.0 /. dt);
+        t.last_acked <- info.bytes_acked;
+        t.last_time <- now);
+    t
+
+  let throughput t = t.throughput
+  let acked_bytes t = t.acked
+  let cwnd t = t.cwnd
+  let srtt t = t.srtt
+  let snapshots t = List.rev t.snapshots
+end
+
+module Queue_monitor = struct
+  type t = { backlog : U.Timeseries.t }
+
+  let create sim ~qdisc ?(interval = 0.01) () =
+    let t = { backlog = U.Timeseries.create () } in
+    Sim.every sim ~interval (fun () ->
+        U.Timeseries.add t.backlog ~time:(Sim.now sim)
+          ~value:(float_of_int (qdisc.Ccsim_net.Qdisc.backlog_bytes ())));
+    t
+
+  let backlog_bytes t = t.backlog
+
+  let mean_backlog_bytes t =
+    if U.Timeseries.is_empty t.backlog then 0.0 else U.Timeseries.mean_value t.backlog
+
+  let max_backlog_bytes t =
+    if U.Timeseries.is_empty t.backlog then 0.0
+    else Array.fold_left Float.max 0.0 (U.Timeseries.values t.backlog)
+end
+
+module Link_monitor = struct
+  type t = { utilization : U.Timeseries.t }
+
+  let create sim ~link ?(interval = 0.1) () =
+    let t = { utilization = U.Timeseries.create () } in
+    let last = ref (Ccsim_net.Link.bytes_delivered link) in
+    Sim.every sim ~interval (fun () ->
+        let now = Sim.now sim in
+        let delivered = Ccsim_net.Link.bytes_delivered link in
+        let rate = Ccsim_net.Link.rate_bps link in
+        let used = float_of_int (delivered - !last) *. 8.0 /. interval in
+        last := delivered;
+        U.Timeseries.add t.utilization ~time:now ~value:(Float.min 1.0 (used /. rate)));
+    t
+
+  let utilization t = t.utilization
+end

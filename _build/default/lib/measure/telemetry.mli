@@ -1,0 +1,41 @@
+(** Periodic samplers that turn live simulation state into time series. *)
+
+module Flow_monitor : sig
+  type t
+
+  val create :
+    Ccsim_engine.Sim.t -> sender:Ccsim_tcp.Sender.t -> ?interval:float -> unit -> t
+  (** Samples the sender every [interval] (default 100 ms): cumulative
+      acked bytes, cwnd, srtt. *)
+
+  val throughput : t -> Ccsim_util.Timeseries.t
+  (** Per-interval goodput in bit/s, derived from acked-byte deltas. *)
+
+  val acked_bytes : t -> Ccsim_util.Timeseries.t
+  val cwnd : t -> Ccsim_util.Timeseries.t
+  val srtt : t -> Ccsim_util.Timeseries.t
+  val snapshots : t -> Ccsim_tcp.Tcp_info.t list
+  (** Full TCPInfo snapshots, oldest first. *)
+end
+
+module Queue_monitor : sig
+  type t
+
+  val create : Ccsim_engine.Sim.t -> qdisc:Ccsim_net.Qdisc.t -> ?interval:float -> unit -> t
+  (** Samples backlog every [interval] (default 10 ms). *)
+
+  val backlog_bytes : t -> Ccsim_util.Timeseries.t
+  val mean_backlog_bytes : t -> float
+  val max_backlog_bytes : t -> float
+end
+
+module Link_monitor : sig
+  type t
+
+  val create : Ccsim_engine.Sim.t -> link:Ccsim_net.Link.t -> ?interval:float -> unit -> t
+  (** Samples delivered bytes every [interval] (default 100 ms). *)
+
+  val utilization : t -> Ccsim_util.Timeseries.t
+  (** Per-interval utilization in [0, 1] relative to the link's current
+      rate. *)
+end

@@ -1,0 +1,1 @@
+lib/net/codel.ml: Ccsim_util Fifo Packet Qdisc Queue

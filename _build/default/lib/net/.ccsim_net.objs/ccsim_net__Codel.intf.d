@@ -1,0 +1,1 @@
+lib/net/codel.mli: Qdisc

@@ -1,0 +1,1 @@
+lib/net/dispatch.ml: Hashtbl Packet

@@ -1,0 +1,1 @@
+lib/net/drr.ml: Ccsim_util Fifo Hashtbl Packet Qdisc Queue

@@ -1,0 +1,1 @@
+lib/net/fifo.ml: Ccsim_util Packet Qdisc Queue

@@ -1,0 +1,1 @@
+lib/net/link.ml: Ccsim_engine Ccsim_util Fifo Packet Qdisc

@@ -1,0 +1,1 @@
+lib/net/parking_lot.ml: Array Ccsim_engine Dispatch Fifo Float Hashtbl Link Option Packet Topology

@@ -1,0 +1,1 @@
+lib/net/parking_lot.mli: Ccsim_engine Dispatch Link Packet Qdisc Topology

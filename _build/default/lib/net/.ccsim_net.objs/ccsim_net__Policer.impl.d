@@ -1,0 +1,1 @@
+lib/net/policer.ml: Ccsim_engine Packet Token_bucket

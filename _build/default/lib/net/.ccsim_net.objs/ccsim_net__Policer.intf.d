@@ -1,0 +1,1 @@
+lib/net/policer.mli: Ccsim_engine Packet

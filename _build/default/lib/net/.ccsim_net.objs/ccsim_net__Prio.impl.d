@@ -1,0 +1,1 @@
+lib/net/prio.ml: Array Fifo Packet Qdisc Queue

@@ -1,0 +1,1 @@
+lib/net/prio.mli: Qdisc

@@ -1,0 +1,1 @@
+lib/net/qdisc.ml: Format Packet

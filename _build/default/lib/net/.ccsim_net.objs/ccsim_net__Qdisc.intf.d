@@ -1,0 +1,1 @@
+lib/net/qdisc.mli: Format Packet

@@ -1,0 +1,1 @@
+lib/net/rate_process.ml: Array Ccsim_engine Ccsim_util Float Link

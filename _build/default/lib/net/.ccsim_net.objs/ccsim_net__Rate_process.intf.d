@@ -1,0 +1,1 @@
+lib/net/rate_process.mli: Ccsim_engine Ccsim_util Link

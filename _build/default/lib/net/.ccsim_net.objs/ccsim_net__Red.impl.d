@@ -1,0 +1,1 @@
+lib/net/red.ml: Ccsim_util Fifo Packet Qdisc Queue

@@ -1,0 +1,1 @@
+lib/net/shaper.ml: Ccsim_engine Fifo Float Packet Queue Token_bucket

@@ -1,0 +1,1 @@
+lib/net/token_bucket.mli:

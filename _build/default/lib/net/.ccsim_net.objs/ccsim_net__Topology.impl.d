@@ -1,0 +1,1 @@
+lib/net/topology.ml: Ccsim_engine Dispatch Fifo Hashtbl Link Packet Policer Shaper

@@ -1,0 +1,1 @@
+lib/net/topology.mli: Ccsim_engine Dispatch Link Packet Qdisc

@@ -1,0 +1,1 @@
+lib/net/trace.ml: Ccsim_engine Format List Packet Queue

@@ -1,0 +1,1 @@
+lib/net/trace.mli: Ccsim_engine Format Packet

@@ -1,0 +1,20 @@
+type t = {
+  handlers : (int, Packet.t -> unit) Hashtbl.t;
+  mutable unmatched : int;
+}
+
+let create () = { handlers = Hashtbl.create 16; unmatched = 0 }
+
+let register t ~flow handler =
+  if Hashtbl.mem t.handlers flow then invalid_arg "Dispatch.register: flow already registered";
+  Hashtbl.add t.handlers flow handler
+
+let unregister t ~flow = Hashtbl.remove t.handlers flow
+
+let deliver t (pkt : Packet.t) =
+  match Hashtbl.find_opt t.handlers pkt.flow with
+  | Some handler -> handler pkt
+  | None -> t.unmatched <- t.unmatched + 1
+
+let as_sink t pkt = deliver t pkt
+let unmatched t = t.unmatched

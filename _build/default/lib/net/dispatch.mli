@@ -1,0 +1,16 @@
+(** Per-flow demultiplexer at the end of a shared path.
+
+    Connections register a handler for their flow id; packets for
+    unregistered flows are counted and discarded (e.g. data still in
+    flight after a short flow closes). *)
+
+type t
+
+val create : unit -> t
+val register : t -> flow:int -> (Packet.t -> unit) -> unit
+(** Raises [Invalid_argument] if the flow already has a handler. *)
+
+val unregister : t -> flow:int -> unit
+val deliver : t -> Packet.t -> unit
+val as_sink : t -> Packet.t -> unit
+val unmatched : t -> int

@@ -1,0 +1,19 @@
+(** Deficit round-robin fair queueing (Shreedhar & Varghese).
+
+    Per-flow queues served round-robin with a byte quantum, approximating
+    max-min fair bandwidth sharing — the in-network isolation mechanism
+    the paper argues "would entirely eliminate the role of CCA dynamics
+    in determining bandwidth allocations" (§2.1). When the shared buffer
+    is full, the packet at the tail of the currently longest queue is
+    dropped (longest-queue-drop, as in fq_codel's memory pressure
+    behaviour), which protects low-rate flows. *)
+
+val create :
+  ?quantum_bytes:int ->
+  ?limit_bytes:int ->
+  ?weight_of_flow:(int -> float) ->
+  unit ->
+  Qdisc.t
+(** [quantum_bytes] defaults to one MSS-sized packet; [limit_bytes] to the
+    same default as {!Fifo.create}. [weight_of_flow] scales each flow's
+    quantum (default: uniform weights), giving weighted fair queueing. *)

@@ -1,0 +1,41 @@
+let default_limit_bytes = 150 * (Ccsim_util.Units.mss + Ccsim_util.Units.header_bytes)
+
+let create ?(limit_bytes = default_limit_bytes) ?limit_packets () =
+  if limit_bytes <= 0 then invalid_arg "Fifo.create: limit_bytes must be positive";
+  (match limit_packets with
+  | Some p when p <= 0 -> invalid_arg "Fifo.create: limit_packets must be positive"
+  | Some _ | None -> ());
+  let queue : Packet.t Queue.t = Queue.create () in
+  let bytes = ref 0 in
+  let stats = Qdisc.make_stats () in
+  let enqueue (pkt : Packet.t) =
+    let over_packets =
+      match limit_packets with Some p -> Queue.length queue >= p | None -> false
+    in
+    if over_packets || !bytes + pkt.size_bytes > limit_bytes then begin
+      Qdisc.drop stats pkt;
+      false
+    end
+    else begin
+      Queue.push pkt queue;
+      bytes := !bytes + pkt.size_bytes;
+      stats.enqueued <- stats.enqueued + 1;
+      true
+    end
+  in
+  let dequeue () =
+    match Queue.take_opt queue with
+    | None -> None
+    | Some pkt ->
+        bytes := !bytes - pkt.size_bytes;
+        stats.dequeued <- stats.dequeued + 1;
+        Some pkt
+  in
+  {
+    Qdisc.name = "fifo";
+    enqueue;
+    dequeue;
+    backlog_bytes = (fun () -> !bytes);
+    backlog_packets = (fun () -> Queue.length queue);
+    stats;
+  }

@@ -1,0 +1,58 @@
+type t = {
+  sim : Ccsim_engine.Sim.t;
+  mutable rate_bps : float;
+  delay_s : float;
+  qdisc : Qdisc.t;
+  sink : Packet.t -> unit;
+  mutable busy : bool;
+  mutable busy_seconds : float;
+  mutable bytes_delivered : int;
+}
+
+let create sim ~rate_bps ~delay_s ?qdisc ~sink () =
+  if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
+  if delay_s < 0.0 then invalid_arg "Link.create: negative delay";
+  let qdisc = match qdisc with Some q -> q | None -> Fifo.create () in
+  {
+    sim;
+    rate_bps;
+    delay_s;
+    qdisc;
+    sink;
+    busy = false;
+    busy_seconds = 0.0;
+    bytes_delivered = 0;
+  }
+
+let rec transmit_next t =
+  match t.qdisc.Qdisc.dequeue () with
+  | None -> t.busy <- false
+  | Some pkt ->
+      t.busy <- true;
+      let tx_time =
+        Ccsim_util.Units.seconds_to_transmit ~size_bytes:pkt.Packet.size_bytes
+          ~rate_bps:t.rate_bps
+      in
+      t.busy_seconds <- t.busy_seconds +. tx_time;
+      ignore
+        (Ccsim_engine.Sim.schedule t.sim ~delay:tx_time (fun () ->
+             t.bytes_delivered <- t.bytes_delivered + pkt.size_bytes;
+             ignore
+               (Ccsim_engine.Sim.schedule t.sim ~delay:t.delay_s (fun () -> t.sink pkt));
+             transmit_next t))
+
+let send t pkt =
+  if t.qdisc.Qdisc.enqueue pkt && not t.busy then transmit_next t
+
+let as_sink t pkt = send t pkt
+let rate_bps t = t.rate_bps
+
+let set_rate t rate =
+  if rate <= 0.0 then invalid_arg "Link.set_rate: rate must be positive";
+  t.rate_bps <- rate
+
+let delay_s t = t.delay_s
+let qdisc t = t.qdisc
+let busy_seconds t = t.busy_seconds
+let utilization t ~now = if now <= 0.0 then 0.0 else t.busy_seconds /. now
+let bytes_delivered t = t.bytes_delivered

@@ -1,0 +1,41 @@
+(** A unidirectional link: transmission rate + propagation delay + qdisc.
+
+    Packets offered with {!send} are enqueued into the qdisc; the link
+    serializes one packet at a time at its current rate and delivers each
+    to the [sink] one propagation delay after serialization completes.
+    The rate can change mid-simulation ({!set_rate}), which models
+    cellular/satellite capacity variation; an in-flight serialization
+    finishes at the old rate. *)
+
+type t
+
+val create :
+  Ccsim_engine.Sim.t ->
+  rate_bps:float ->
+  delay_s:float ->
+  ?qdisc:Qdisc.t ->
+  sink:(Packet.t -> unit) ->
+  unit ->
+  t
+(** Default qdisc: {!Fifo.create}[ ()]. Rate must be positive, delay
+    non-negative. *)
+
+val send : t -> Packet.t -> unit
+(** Offer a packet (may be dropped by the qdisc). *)
+
+val as_sink : t -> Packet.t -> unit
+
+val rate_bps : t -> float
+val set_rate : t -> float -> unit
+(** Must be positive. Takes effect at the next serialization. *)
+
+val delay_s : t -> float
+val qdisc : t -> Qdisc.t
+
+val busy_seconds : t -> float
+(** Cumulative time the link has spent serializing packets. *)
+
+val utilization : t -> now:float -> float
+(** [busy_seconds / now]; 0 at time 0. *)
+
+val bytes_delivered : t -> int

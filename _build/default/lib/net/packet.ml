@@ -1,0 +1,76 @@
+type kind = Data | Ack
+
+type t = {
+  uid : int;
+  flow : int;
+  kind : kind;
+  size_bytes : int;
+  seq : int;
+  payload_bytes : int;
+  ack : int;
+  sent_at : float;
+  echo : float;
+  retx : bool;
+  rwnd : int;
+  sacks : (int * int) list;
+  ece : bool;
+  prio : int;
+  mutable ecn_ce : bool;
+}
+
+let next_uid = ref 0
+
+let fresh_uid () =
+  incr next_uid;
+  !next_uid
+
+let data ~flow ~seq ~payload_bytes ?(header_bytes = Ccsim_util.Units.header_bytes) ?(retx = false)
+    ?(prio = 0) ~sent_at () =
+  if payload_bytes <= 0 then invalid_arg "Packet.data: payload must be positive";
+  {
+    uid = fresh_uid ();
+    flow;
+    kind = Data;
+    size_bytes = payload_bytes + header_bytes;
+    seq;
+    payload_bytes;
+    ack = 0;
+    sent_at;
+    echo = 0.0;
+    retx;
+    rwnd = max_int;
+    sacks = [];
+    ece = false;
+    prio;
+    ecn_ce = false;
+  }
+
+let ack ~flow ~ack ?(size_bytes = 64) ?(echo = 0.0) ?(for_retx = false) ?(rwnd = max_int)
+    ?(sacks = []) ?(ece = false) ?(prio = 0) ~sent_at () =
+  {
+    uid = fresh_uid ();
+    flow;
+    kind = Ack;
+    size_bytes;
+    seq = 0;
+    payload_bytes = 0;
+    ack;
+    sent_at;
+    echo;
+    retx = for_retx;
+    rwnd;
+    sacks;
+    ece;
+    prio;
+    ecn_ce = false;
+  }
+
+let end_seq t = t.seq + t.payload_bytes
+let is_data t = t.kind = Data
+
+let pp ppf t =
+  match t.kind with
+  | Data ->
+      Format.fprintf ppf "data(flow=%d seq=%d..%d %dB%s)" t.flow t.seq (end_seq t) t.size_bytes
+        (if t.retx then " retx" else "")
+  | Ack -> Format.fprintf ppf "ack(flow=%d ack=%d)" t.flow t.ack

@@ -1,0 +1,62 @@
+(** Simulated packets.
+
+    A packet is either a data segment or a (pure) cumulative
+    acknowledgment. Sizes are wire sizes in bytes (payload + header).
+    Sequence numbers are byte offsets, as in TCP. *)
+
+type kind = Data | Ack
+
+type t = {
+  uid : int;  (** globally unique, for tracing *)
+  flow : int;  (** flow identifier; qdiscs classify on this *)
+  kind : kind;
+  size_bytes : int;  (** wire size *)
+  seq : int;  (** first payload byte (data); meaningless for acks *)
+  payload_bytes : int;  (** payload carried (data); 0 for acks *)
+  ack : int;  (** next expected byte (acks); 0 for data *)
+  sent_at : float;  (** transmit timestamp of this (re)transmission *)
+  echo : float;  (** acks: [sent_at] of the segment that triggered them *)
+  retx : bool;  (** retransmission? (acks echo this to suppress bad RTT samples) *)
+  rwnd : int;  (** acks: receiver's advertised window in bytes *)
+  sacks : (int * int) list;
+      (** acks: up to three selectively-acknowledged [lo, hi) byte ranges
+          above the cumulative ack point *)
+  ece : bool;  (** acks: congestion-experienced echo (ECN) *)
+  prio : int;  (** priority band for {!Prio} qdiscs; 0 = highest *)
+  mutable ecn_ce : bool;  (** congestion-experienced mark *)
+}
+
+val data :
+  flow:int ->
+  seq:int ->
+  payload_bytes:int ->
+  ?header_bytes:int ->
+  ?retx:bool ->
+  ?prio:int ->
+  sent_at:float ->
+  unit ->
+  t
+(** Fresh data segment; wire size is payload + header (default
+    {!Ccsim_util.Units.header_bytes}). *)
+
+val ack :
+  flow:int ->
+  ack:int ->
+  ?size_bytes:int ->
+  ?echo:float ->
+  ?for_retx:bool ->
+  ?rwnd:int ->
+  ?sacks:(int * int) list ->
+  ?ece:bool ->
+  ?prio:int ->
+  sent_at:float ->
+  unit ->
+  t
+(** Pure ack (default 64 bytes on the wire). [for_retx] echoes whether the
+    acked segment was a retransmission. *)
+
+val end_seq : t -> int
+(** [seq + payload_bytes]. *)
+
+val is_data : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+module Sim = Ccsim_engine.Sim
+
+type t = {
+  sim : Sim.t;
+  links : Link.t array;
+  fwd_dispatch : Dispatch.t;
+  rev_dispatch : Dispatch.t;
+  delay_s : float;
+  rev_rate_bps : float;
+  exits : (int, int) Hashtbl.t;  (* flow -> index of its last segment *)
+  rev_entries : (int, Packet.t -> unit) Hashtbl.t;
+}
+
+let create sim ~rates_bps ?(delay_s = 0.01) ?qdisc_of ?rev_rate_bps () =
+  let k = Array.length rates_bps in
+  if k = 0 then invalid_arg "Parking_lot.create: need at least one segment";
+  Array.iter
+    (fun r -> if r <= 0.0 then invalid_arg "Parking_lot.create: rates must be positive")
+    rates_bps;
+  let fwd_dispatch = Dispatch.create () in
+  let rev_dispatch = Dispatch.create () in
+  let exits : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* Build back-to-front: each segment's sink routes a packet onward or
+     delivers it, depending on where its flow exits. *)
+  let links = Array.make k None in
+  for i = k - 1 downto 0 do
+    let sink (pkt : Packet.t) =
+      let exit_after =
+        match Hashtbl.find_opt exits pkt.flow with Some e -> e | None -> k - 1
+      in
+      if exit_after <= i || i = k - 1 then Dispatch.deliver fwd_dispatch pkt
+      else
+        match links.(i + 1) with
+        | Some next -> Link.send next pkt
+        | None -> assert false
+    in
+    let qdisc = Option.map (fun f -> f i) qdisc_of in
+    links.(i) <- Some (Link.create sim ~rate_bps:rates_bps.(i) ~delay_s ?qdisc ~sink ())
+  done;
+  let links = Array.map (function Some l -> l | None -> assert false) links in
+  let rev_rate =
+    match rev_rate_bps with
+    | Some r -> r
+    | None -> 100.0 *. Array.fold_left Float.max 0.0 rates_bps
+  in
+  {
+    sim;
+    links;
+    fwd_dispatch;
+    rev_dispatch;
+    delay_s;
+    rev_rate_bps = rev_rate;
+    exits;
+    rev_entries = Hashtbl.create 16;
+  }
+
+let links t = t.links
+let fwd_dispatch t = t.fwd_dispatch
+let rev_dispatch t = t.rev_dispatch
+let segment_count t = Array.length t.links
+
+let attach t ~flow ~enter ~exit_after =
+  let k = segment_count t in
+  if enter < 0 || exit_after >= k || enter > exit_after then
+    invalid_arg "Parking_lot.attach: bad segment range";
+  if Hashtbl.mem t.exits flow then invalid_arg "Parking_lot.attach: flow already attached";
+  Hashtbl.add t.exits flow exit_after;
+  let data_entry = Link.as_sink t.links.(enter) in
+  let hops = float_of_int (exit_after - enter + 1) in
+  let rev_link =
+    Link.create t.sim ~rate_bps:t.rev_rate_bps ~delay_s:(hops *. t.delay_s)
+      ~qdisc:(Fifo.create ~limit_bytes:100_000_000 ())
+      ~sink:(Dispatch.as_sink t.rev_dispatch) ()
+  in
+  let ack_entry = Link.as_sink rev_link in
+  Hashtbl.add t.rev_entries flow ack_entry;
+  (data_entry, ack_entry)
+
+let as_topology t ~flow_routes =
+  let fwd_cache : (int, Packet.t -> unit) Hashtbl.t = Hashtbl.create 16 in
+  let ensure flow =
+    match Hashtbl.find_opt fwd_cache flow with
+    | Some entries -> (entries, Hashtbl.find t.rev_entries flow)
+    | None ->
+        let enter, exit_after = flow_routes flow in
+        let data_entry, ack_entry = attach t ~flow ~enter ~exit_after in
+        Hashtbl.add fwd_cache flow data_entry;
+        (data_entry, ack_entry)
+  in
+  {
+    Topology.sim = t.sim;
+    bottleneck = t.links.(0);
+    fwd_dispatch = t.fwd_dispatch;
+    rev_dispatch = t.rev_dispatch;
+    fwd_entry = (fun ~flow pkt -> (fst (ensure flow)) pkt);
+    rev_entry = (fun ~flow pkt -> (snd (ensure flow)) pkt);
+    one_way_delay =
+      (fun ~flow ->
+        let enter, exit_after = flow_routes flow in
+        float_of_int (exit_after - enter + 1) *. t.delay_s);
+  }

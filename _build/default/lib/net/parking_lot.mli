@@ -1,0 +1,57 @@
+(** Parking-lot (multi-segment) topology.
+
+    A chain of bottleneck links L0 .. L(k-1); each flow enters at one
+    segment and exits after another, so long paths cross several
+    potential bottlenecks while local flows load single segments — the
+    classic setting for multi-hop fairness questions, and the
+    quantitative backdrop for §2.2's observation that on today's short
+    paths the access segment is usually the only contended one.
+
+    Acks return on a per-flow uncongested reverse link spanning the
+    traversed propagation delay, as in {!Topology}. *)
+
+type t
+
+val links : t -> Link.t array
+(** The forward segments, in path order. *)
+
+val fwd_dispatch : t -> Dispatch.t
+(** Receivers register data handlers here. *)
+
+val rev_dispatch : t -> Dispatch.t
+(** Senders register ack handlers here. *)
+
+val create :
+  Ccsim_engine.Sim.t ->
+  rates_bps:float array ->
+  ?delay_s:float ->
+  ?qdisc_of:(int -> Qdisc.t) ->
+  ?rev_rate_bps:float ->
+  unit ->
+  t
+(** [rates_bps] gives each segment's capacity (at least one segment).
+    [delay_s] is the per-segment one-way propagation (default 10 ms);
+    [qdisc_of i] builds segment [i]'s queue (default drop-tail FIFO).
+    The reverse path runs at [rev_rate_bps] (default 100x the fastest
+    segment). *)
+
+val segment_count : t -> int
+
+val attach :
+  t -> flow:int -> enter:int -> exit_after:int -> (Packet.t -> unit) * (Packet.t -> unit)
+(** [attach t ~flow ~enter ~exit_after] routes [flow] through segments
+    [enter .. exit_after] (inclusive; [enter <= exit_after], both in
+    range) and returns [(data_entry, ack_entry)] — the flow's injection
+    points for the forward and reverse directions. Raises
+    [Invalid_argument] on bad indices or an already-attached flow.
+
+    Register the receiver on [fwd_dispatch] and the sender on
+    [rev_dispatch], as with {!Topology}; or use
+    {!Ccsim_tcp.Connection.establish} with a {!as_topology} view. *)
+
+val as_topology : t -> flow_routes:(int -> int * int) -> Topology.t
+(** View the parking lot through the {!Topology.t} record so existing
+    helpers ({!Ccsim_tcp.Connection.establish}) work unchanged:
+    [flow_routes flow] gives (enter, exit_after) for each flow; flows
+    are attached lazily on first use. The [bottleneck] field is segment
+    0. *)

@@ -1,0 +1,28 @@
+type t = {
+  sim : Ccsim_engine.Sim.t;
+  bucket : Token_bucket.t;
+  sink : Packet.t -> unit;
+  mutable dropped : int;
+  mutable forwarded : int;
+}
+
+let create sim ~rate_bps ~burst_bytes ~sink () =
+  {
+    sim;
+    bucket = Token_bucket.create ~rate_bps ~burst_bytes ~now:(Ccsim_engine.Sim.now sim);
+    sink;
+    dropped = 0;
+    forwarded = 0;
+  }
+
+let input t (pkt : Packet.t) =
+  let now = Ccsim_engine.Sim.now t.sim in
+  if Token_bucket.try_consume t.bucket ~now ~bytes:pkt.size_bytes then begin
+    t.forwarded <- t.forwarded + 1;
+    t.sink pkt
+  end
+  else t.dropped <- t.dropped + 1
+
+let dropped t = t.dropped
+let forwarded t = t.forwarded
+let as_sink t pkt = input t pkt

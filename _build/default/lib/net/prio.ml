@@ -1,0 +1,41 @@
+let create ?(bands = 3) ?(limit_bytes_per_band = Fifo.default_limit_bytes) () =
+  if bands <= 0 then invalid_arg "Prio.create: bands must be positive";
+  if limit_bytes_per_band <= 0 then invalid_arg "Prio.create: limit must be positive";
+  let queues = Array.init bands (fun _ -> Queue.create ()) in
+  let band_bytes = Array.make bands 0 in
+  let stats = Qdisc.make_stats () in
+  let band_of (pkt : Packet.t) = min (bands - 1) (max 0 pkt.prio) in
+  let enqueue (pkt : Packet.t) =
+    let b = band_of pkt in
+    if band_bytes.(b) + pkt.size_bytes > limit_bytes_per_band then begin
+      Qdisc.drop stats pkt;
+      false
+    end
+    else begin
+      Queue.push pkt queues.(b);
+      band_bytes.(b) <- band_bytes.(b) + pkt.size_bytes;
+      stats.enqueued <- stats.enqueued + 1;
+      true
+    end
+  in
+  let dequeue () =
+    let rec scan b =
+      if b >= bands then None
+      else
+        match Queue.take_opt queues.(b) with
+        | None -> scan (b + 1)
+        | Some pkt ->
+            band_bytes.(b) <- band_bytes.(b) - pkt.size_bytes;
+            stats.dequeued <- stats.dequeued + 1;
+            Some pkt
+    in
+    scan 0
+  in
+  {
+    Qdisc.name = "prio";
+    enqueue;
+    dequeue;
+    backlog_bytes = (fun () -> Array.fold_left ( + ) 0 band_bytes);
+    backlog_packets = (fun () -> Array.fold_left (fun acc q -> acc + Queue.length q) 0 queues);
+    stats;
+  }

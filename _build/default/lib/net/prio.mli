@@ -1,0 +1,9 @@
+(** Strict priority queueing over a fixed number of bands.
+
+    Packets carry a [prio] field (0 = highest); dequeue always serves the
+    lowest-numbered non-empty band. Hyperscaler WANs use priority
+    queueing to eliminate inter-application contention (§2.1, e.g.
+    Azure's split-WAN work). *)
+
+val create : ?bands:int -> ?limit_bytes_per_band:int -> unit -> Qdisc.t
+(** Default 3 bands; packets with [prio >= bands] go to the last band. *)

@@ -1,0 +1,33 @@
+type stats = {
+  mutable enqueued : int;
+  mutable dropped : int;
+  mutable dequeued : int;
+  mutable bytes_dropped : int;
+  mutable ecn_marked : int;
+}
+
+type t = {
+  name : string;
+  enqueue : Packet.t -> bool;
+  dequeue : unit -> Packet.t option;
+  backlog_bytes : unit -> int;
+  backlog_packets : unit -> int;
+  stats : stats;
+}
+
+let make_stats () =
+  { enqueued = 0; dropped = 0; dequeued = 0; bytes_dropped = 0; ecn_marked = 0 }
+
+let drop stats (pkt : Packet.t) =
+  stats.dropped <- stats.dropped + 1;
+  stats.bytes_dropped <- stats.bytes_dropped + pkt.size_bytes
+
+let loss_rate t =
+  let arrivals = t.stats.enqueued + t.stats.dropped in
+  if arrivals = 0 then 0.0 else float_of_int t.stats.dropped /. float_of_int arrivals
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%s: enq=%d deq=%d drop=%d (%.2f%%) marked=%d" t.name t.stats.enqueued
+    t.stats.dequeued t.stats.dropped
+    (100.0 *. loss_rate t)
+    t.stats.ecn_marked

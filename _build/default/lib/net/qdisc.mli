@@ -1,0 +1,39 @@
+(** Queue-discipline interface.
+
+    A qdisc buffers packets between arrival at a link and transmission.
+    Implementations (FIFO, DRR fair queueing, RED, CoDel, strict
+    priority) are records of closures so links can hold any discipline
+    without functor plumbing.
+
+    Invariant every implementation must satisfy: [dequeue] returns
+    [Some _] exactly when [backlog_packets () > 0]. Rate-limiting
+    elements (token-bucket shapers, policers) intentionally violate this
+    and therefore live outside the qdisc interface, as standalone path
+    elements ({!Shaper}, {!Policer}). *)
+
+type stats = {
+  mutable enqueued : int;
+  mutable dropped : int;
+  mutable dequeued : int;
+  mutable bytes_dropped : int;
+  mutable ecn_marked : int;
+}
+
+type t = {
+  name : string;
+  enqueue : Packet.t -> bool;  (** false = packet dropped *)
+  dequeue : unit -> Packet.t option;
+  backlog_bytes : unit -> int;
+  backlog_packets : unit -> int;
+  stats : stats;
+}
+
+val make_stats : unit -> stats
+
+val drop : stats -> Packet.t -> unit
+(** Account a drop. *)
+
+val loss_rate : t -> float
+(** Drops / arrivals seen so far (0 when nothing arrived). *)
+
+val pp_stats : Format.formatter -> t -> unit

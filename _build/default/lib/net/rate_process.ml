@@ -1,0 +1,46 @@
+module Sim = Ccsim_engine.Sim
+module U = Ccsim_util
+
+type t = { series : U.Timeseries.t; sim : Sim.t }
+
+let record t rate =
+  U.Timeseries.add t.series ~time:(Sim.now t.sim) ~value:rate
+
+let markov sim ~link ~rng ~states_bps ?(mean_dwell_s = 2.0) () =
+  if Array.length states_bps = 0 then invalid_arg "Rate_process.markov: no states";
+  Array.iter
+    (fun r -> if r <= 0.0 then invalid_arg "Rate_process.markov: rates must be positive")
+    states_bps;
+  if mean_dwell_s <= 0.0 then invalid_arg "Rate_process.markov: dwell must be positive";
+  let t = { series = U.Timeseries.create (); sim } in
+  let rec jump () =
+    let rate = U.Rng.choose rng states_bps in
+    Link.set_rate link rate;
+    record t rate;
+    ignore (Sim.schedule sim ~delay:(U.Rng.exponential rng ~mean:mean_dwell_s) jump)
+  in
+  jump ();
+  t
+
+let ornstein_uhlenbeck sim ~link ~rng ~mean_bps ?(volatility = 0.15) ?(reversion = 0.3)
+    ?floor_bps ?(tick = 0.1) () =
+  if mean_bps <= 0.0 then invalid_arg "Rate_process.ou: mean must be positive";
+  if tick <= 0.0 then invalid_arg "Rate_process.ou: tick must be positive";
+  let floor = match floor_bps with Some f -> f | None -> 0.05 *. mean_bps in
+  let t = { series = U.Timeseries.create (); sim } in
+  let rate = ref mean_bps in
+  Link.set_rate link !rate;
+  record t !rate;
+  Sim.every sim ~interval:tick (fun () ->
+      let pull = reversion *. (mean_bps -. !rate) *. tick in
+      let noise = U.Rng.normal rng ~mean:0.0 ~stddev:(volatility *. mean_bps *. sqrt tick) in
+      rate := Float.max floor (!rate +. pull +. noise);
+      Link.set_rate link !rate;
+      record t !rate);
+  t
+
+let rate_series t = t.series
+
+let mean_rate t =
+  if U.Timeseries.is_empty t.series then 0.0
+  else U.Timeseries.time_weighted_mean t.series ~until:(Sim.now t.sim)

@@ -1,0 +1,77 @@
+type t = {
+  sim : Ccsim_engine.Sim.t;
+  bucket : Token_bucket.t;
+  queue : Packet.t Queue.t;
+  limit_bytes : int;
+  sink : Packet.t -> unit;
+  mutable backlog : int;
+  mutable dropped : int;
+  mutable forwarded : int;
+  mutable release_pending : bool;
+}
+
+let create sim ~rate_bps ~burst_bytes ?(limit_bytes = Fifo.default_limit_bytes) ~sink () =
+  if limit_bytes <= 0 then invalid_arg "Shaper.create: limit must be positive";
+  {
+    sim;
+    bucket = Token_bucket.create ~rate_bps ~burst_bytes ~now:(Ccsim_engine.Sim.now sim);
+    queue = Queue.create ();
+    limit_bytes;
+    sink;
+    backlog = 0;
+    dropped = 0;
+    forwarded = 0;
+    release_pending = false;
+  }
+
+let forward t pkt =
+  t.forwarded <- t.forwarded + 1;
+  t.sink pkt
+
+(* Drain the head of the queue while tokens allow; otherwise schedule a
+   wake-up for when the head packet conforms. *)
+let rec drain t =
+  match Queue.peek_opt t.queue with
+  | None -> ()
+  | Some pkt when pkt.Packet.size_bytes > Token_bucket.burst_bytes t.bucket ->
+      (* The bucket can never cover a packet larger than its burst; drop
+         it rather than stall the queue forever. *)
+      ignore (Queue.pop t.queue);
+      t.backlog <- t.backlog - pkt.size_bytes;
+      t.dropped <- t.dropped + 1;
+      drain t
+  | Some pkt ->
+      let now = Ccsim_engine.Sim.now t.sim in
+      if Token_bucket.try_consume t.bucket ~now ~bytes:pkt.Packet.size_bytes then begin
+        ignore (Queue.pop t.queue);
+        t.backlog <- t.backlog - pkt.size_bytes;
+        forward t pkt;
+        drain t
+      end
+      else if not t.release_pending then begin
+        let wait = Token_bucket.time_until_available t.bucket ~now ~bytes:pkt.size_bytes in
+        (* Floor the wake-up so float rounding can never schedule a
+           zero-progress busy loop at a frozen virtual clock. *)
+        let wait = Float.max wait 1e-6 in
+        t.release_pending <- true;
+        ignore
+          (Ccsim_engine.Sim.schedule t.sim ~delay:wait (fun () ->
+               t.release_pending <- false;
+               drain t))
+      end
+
+let input t (pkt : Packet.t) =
+  let now = Ccsim_engine.Sim.now t.sim in
+  if Queue.is_empty t.queue && Token_bucket.try_consume t.bucket ~now ~bytes:pkt.size_bytes then
+    forward t pkt
+  else if t.backlog + pkt.size_bytes > t.limit_bytes then t.dropped <- t.dropped + 1
+  else begin
+    Queue.push pkt t.queue;
+    t.backlog <- t.backlog + pkt.size_bytes;
+    drain t
+  end
+
+let backlog_bytes t = t.backlog
+let dropped t = t.dropped
+let forwarded t = t.forwarded
+let as_sink t pkt = input t pkt

@@ -1,0 +1,61 @@
+type event_kind = Sent | Delivered | Dropped
+
+type event = {
+  at : float;
+  kind : event_kind;
+  point : string;
+  flow : int;
+  seq : int;
+  size_bytes : int;
+  is_ack : bool;
+  retx : bool;
+}
+
+type t = {
+  sim : Ccsim_engine.Sim.t;
+  capacity : int;
+  buffer : event Queue.t;
+  mutable total : int;
+}
+
+let create ?(capacity = 100_000) sim =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { sim; capacity; buffer = Queue.create (); total = 0 }
+
+let record t ~kind ~point (pkt : Packet.t) =
+  let event =
+    {
+      at = Ccsim_engine.Sim.now t.sim;
+      kind;
+      point;
+      flow = pkt.flow;
+      seq = pkt.seq;
+      size_bytes = pkt.size_bytes;
+      is_ack = not (Packet.is_data pkt);
+      retx = pkt.retx;
+    }
+  in
+  Queue.push event t.buffer;
+  t.total <- t.total + 1;
+  if Queue.length t.buffer > t.capacity then ignore (Queue.pop t.buffer)
+
+let tap t ~point sink pkt =
+  record t ~kind:Delivered ~point pkt;
+  sink pkt
+
+let tap_send t ~point sink pkt =
+  record t ~kind:Sent ~point pkt;
+  sink pkt
+
+let events t = List.of_seq (Queue.to_seq t.buffer)
+let count t = t.total
+let filter t ~f = List.filter f (events t)
+let deliveries_for t ~flow = filter t ~f:(fun e -> e.flow = flow && e.kind = Delivered)
+let drops_for t ~flow = filter t ~f:(fun e -> e.flow = flow && e.kind = Dropped)
+
+let pp_event ppf e =
+  let kind = match e.kind with Sent -> "sent" | Delivered -> "dlvr" | Dropped -> "drop" in
+  Format.fprintf ppf "%.6f %s %s flow=%d seq=%d %dB%s%s" e.at kind e.point e.flow e.seq
+    e.size_bytes
+    (if e.is_ack then " ack" else "")
+    (if e.retx then " retx" else "")

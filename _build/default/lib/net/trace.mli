@@ -1,0 +1,47 @@
+(** Packet event tracing.
+
+    A bounded in-memory log of packet-level events (sends, deliveries,
+    drops) for debugging scenarios and asserting fine-grained behaviour
+    in tests. Wrap any sink with {!tap} to record deliveries at that
+    point; qdisc/shaper drops are recorded by the caller via
+    {!record}. *)
+
+type event_kind = Sent | Delivered | Dropped
+
+type event = {
+  at : float;
+  kind : event_kind;
+  point : string;  (** where in the path the event was observed *)
+  flow : int;
+  seq : int;
+  size_bytes : int;
+  is_ack : bool;
+  retx : bool;
+}
+
+type t
+
+val create : ?capacity:int -> Ccsim_engine.Sim.t -> t
+(** Keeps the most recent [capacity] events (default 100,000). *)
+
+val record : t -> kind:event_kind -> point:string -> Packet.t -> unit
+
+val tap : t -> point:string -> (Packet.t -> unit) -> Packet.t -> unit
+(** [tap trace ~point sink] is a sink that records a [Delivered] event
+    and forwards to [sink]. *)
+
+val tap_send : t -> point:string -> (Packet.t -> unit) -> Packet.t -> unit
+(** Like {!tap} but records [Sent] — wrap a flow's injection point. *)
+
+val events : t -> event list
+(** Oldest first, within the retained window. *)
+
+val count : t -> int
+(** Total events observed (including evicted ones). *)
+
+val filter : t -> f:(event -> bool) -> event list
+
+val deliveries_for : t -> flow:int -> event list
+val drops_for : t -> flow:int -> event list
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+lib/tcp/connection.ml: Ccsim_net Receiver Sender

@@ -1,0 +1,1 @@
+lib/tcp/connection.mli: Ccsim_cca Ccsim_net Receiver Sender

@@ -1,0 +1,1 @@
+lib/tcp/receiver.ml: Ccsim_engine Ccsim_net Ccsim_util Float List

@@ -1,0 +1,1 @@
+lib/tcp/receiver.mli: Ccsim_engine Ccsim_net Ccsim_util

@@ -1,0 +1,1 @@
+lib/tcp/sender.ml: Ccsim_cca Ccsim_engine Ccsim_net Ccsim_util Float List Queue Rtt_estimator Tcp_info

@@ -1,0 +1,1 @@
+lib/tcp/sender.mli: Ccsim_cca Ccsim_engine Ccsim_net Tcp_info

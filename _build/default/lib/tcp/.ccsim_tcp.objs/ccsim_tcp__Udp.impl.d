@@ -1,0 +1,1 @@
+lib/tcp/udp.ml: Array Ccsim_engine Ccsim_net Ccsim_util Float

@@ -1,0 +1,1 @@
+lib/tcp/udp.mli: Ccsim_engine Ccsim_net Ccsim_util

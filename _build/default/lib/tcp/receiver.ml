@@ -1,0 +1,132 @@
+module Sim = Ccsim_engine.Sim
+module Packet = Ccsim_net.Packet
+
+type t = {
+  sim : Sim.t;
+  flow : int;
+  ack_path : Packet.t -> unit;
+  buffer_bytes : int;
+  consume_rate_bps : float;
+  delayed_ack : bool;
+  mutable rcv_nxt : int;
+  mutable ooo : (int * int) list;  (* disjoint buffered ranges, sorted *)
+  mutable consumed : int;  (* bytes the app has drained *)
+  mutable consumed_updated : float;
+  mutable acks_sent : int;
+  mutable unacked_segments : int;  (* in-order segments since the last ack *)
+  mutable delack_timer : Sim.event_id option;
+  mutable pending_echo : float;  (* sent_at of the newest unacked segment *)
+  mutable pending_retx : bool;
+  receive_times : Ccsim_util.Timeseries.t;
+}
+
+let create sim ~flow ~ack_path ?(buffer_bytes = 4 * 1024 * 1024) ?(consume_rate_bps = infinity)
+    ?(delayed_ack = false) () =
+  if buffer_bytes <= 0 then invalid_arg "Receiver.create: buffer must be positive";
+  {
+    sim;
+    flow;
+    ack_path;
+    buffer_bytes;
+    consume_rate_bps;
+    delayed_ack;
+    rcv_nxt = 0;
+    ooo = [];
+    consumed = 0;
+    consumed_updated = Sim.now sim;
+    acks_sent = 0;
+    unacked_segments = 0;
+    delack_timer = None;
+    pending_echo = 0.0;
+    pending_retx = false;
+    receive_times = Ccsim_util.Timeseries.create ();
+  }
+
+(* Advance the application-drain model to the current time. *)
+let update_consumed t =
+  let now = Sim.now t.sim in
+  if Float.is_finite t.consume_rate_bps then begin
+    let drained =
+      int_of_float (t.consume_rate_bps *. (now -. t.consumed_updated) /. 8.0)
+    in
+    t.consumed <- min t.rcv_nxt (t.consumed + drained)
+  end
+  else t.consumed <- t.rcv_nxt;
+  t.consumed_updated <- now
+
+let advertised_window t =
+  update_consumed t;
+  max 0 (t.buffer_bytes - (t.rcv_nxt - t.consumed))
+
+(* Insert a received range and advance rcv_nxt over any now-contiguous
+   buffered ranges. *)
+let integrate t ~seq ~len =
+  let lo = seq and hi = seq + len in
+  if hi > t.rcv_nxt then begin
+    let ranges = (max lo t.rcv_nxt, hi) :: t.ooo in
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) ranges in
+    (* Merge overlapping/adjacent ranges. *)
+    let merged =
+      List.fold_left
+        (fun acc (lo, hi) ->
+          match acc with
+          | (plo, phi) :: rest when lo <= phi -> (plo, max phi hi) :: rest
+          | _ -> (lo, hi) :: acc)
+        [] sorted
+    in
+    let merged = List.rev merged in
+    (* Pop leading ranges that extend the contiguous prefix. *)
+    let rec advance ranges =
+      match ranges with
+      | (lo, hi) :: rest when lo <= t.rcv_nxt ->
+          if hi > t.rcv_nxt then t.rcv_nxt <- hi;
+          advance rest
+      | rest -> rest
+    in
+    t.ooo <- advance merged
+  end
+
+let send_ack t ~echo ~for_retx ~ece =
+  let rwnd = advertised_window t in
+  (* Advertise up to three buffered out-of-order ranges (SACK blocks). *)
+  let sacks = List.filteri (fun i _ -> i < 3) t.ooo in
+  t.acks_sent <- t.acks_sent + 1;
+  t.unacked_segments <- 0;
+  (match t.delack_timer with
+  | Some id ->
+      Sim.cancel t.sim id;
+      t.delack_timer <- None
+  | None -> ());
+  t.ack_path
+    (Packet.ack ~flow:t.flow ~ack:t.rcv_nxt ~echo ~for_retx ~rwnd ~sacks ~ece
+       ~sent_at:(Sim.now t.sim) ())
+
+let handle_data t (pkt : Packet.t) =
+  if Packet.is_data pkt then begin
+    let before = t.rcv_nxt in
+    integrate t ~seq:pkt.seq ~len:pkt.payload_bytes;
+    Ccsim_util.Timeseries.add t.receive_times ~time:(Sim.now t.sim)
+      ~value:(float_of_int t.rcv_nxt);
+    let in_order = t.rcv_nxt > before && t.ooo = [] in
+    if (not t.delayed_ack) || (not in_order) || pkt.ecn_ce then
+      (* Immediate ack: per-packet mode, out-of-order data (dupack/SACK
+         must not be delayed), or congestion signal. *)
+      send_ack t ~echo:pkt.sent_at ~for_retx:pkt.retx ~ece:pkt.ecn_ce
+    else begin
+      t.unacked_segments <- t.unacked_segments + 1;
+      t.pending_echo <- pkt.sent_at;
+      t.pending_retx <- pkt.retx;
+      if t.unacked_segments >= 2 then send_ack t ~echo:pkt.sent_at ~for_retx:pkt.retx ~ece:false
+      else if t.delack_timer = None then
+        t.delack_timer <-
+          Some
+            (Sim.schedule t.sim ~delay:0.04 (fun () ->
+                 t.delack_timer <- None;
+                 if t.unacked_segments > 0 then
+                   send_ack t ~echo:t.pending_echo ~for_retx:t.pending_retx ~ece:false))
+    end
+  end
+
+let bytes_received t = t.rcv_nxt
+let acks_sent t = t.acks_sent
+let receive_times t = t.receive_times

@@ -1,0 +1,522 @@
+module Sim = Ccsim_engine.Sim
+module Packet = Ccsim_net.Packet
+module Cca = Ccsim_cca.Cca
+
+type segment = {
+  seq : int;
+  len : int;
+  mutable sent_at : float;
+  mutable retx_count : int;
+  mutable sacked : bool;
+  mutable lost : bool;  (* marked for retransmission *)
+  mutable in_pipe : bool;  (* counted in the outstanding estimate *)
+  mutable delivered_at_send : int;
+  mutable app_limited_at_send : bool;
+}
+
+type limited = Not_started | App | Rwnd | Cwnd | Busy
+
+type t = {
+  sim : Sim.t;
+  flow : int;
+  cca : Cca.t;
+  path : Packet.t -> unit;
+  mss : int;
+  on_complete : t -> unit;
+  rtt : Rtt_estimator.t;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable buffered : int;  (* application bytes not yet segmented *)
+  mutable unlimited : bool;
+  mutable closed : bool;
+  mutable completed : bool;
+  mutable stopped : bool;
+  mutable rwnd : int;  (* latest advertised receive window *)
+  segments : segment Queue.t;  (* in flight, ascending seq *)
+  mutable pipe_bytes : int;  (* SACK-aware outstanding estimate *)
+  mutable lost_bytes : int;  (* marked lost, not yet retransmitted *)
+  mutable highest_sacked : int;
+  mutable newest_delivered_sent_at : float;
+      (* transmit time of the most recently sent segment known delivered;
+         RACK marks a segment lost only if something sent after it got
+         through *)
+  mutable dupacks : int;
+  mutable in_recovery : bool;
+  mutable recover : int;  (* recovery ends when snd_una passes this *)
+  mutable last_ecn_response : float;
+      (* an ECN echo triggers at most one congestion response per RTT *)
+  mutable ecn_responses : int;
+  mutable rto_event : Sim.event_id option;
+  mutable pace_next : float;
+  mutable pace_pending : bool;
+  (* statistics *)
+  started_at : float;
+  mutable bytes_sent : int;
+  mutable bytes_retrans : int;
+  mutable segs_retrans : int;
+  mutable rto_count : int;
+  mutable last_delivery_rate : float;
+  ack_history : (float * int) Queue.t;  (* (time, delivered) per ack, for rate *)
+  mutable rate_baseline : (float * int) option;
+  mutable delivered_bytes : int;
+      (* bytes known delivered: cumulative acks plus SACKed ranges, each
+         counted when first learned (as in Linux's tcp_rate sampler) *)
+  (* limited-state accounting *)
+  mutable limited_state : limited;
+  mutable limited_since : float;
+  mutable app_limited_s : float;
+  mutable rwnd_limited_s : float;
+  mutable cwnd_limited_s : float;
+  mutable busy_s : float;
+}
+
+let flow t = t.flow
+let cca t = t.cca
+let bytes_acked t = t.snd_una
+let ecn_responses t = t.ecn_responses
+let bytes_sent t = t.bytes_sent
+let bytes_retrans t = t.bytes_retrans
+let segs_retrans t = t.segs_retrans
+let inflight t = t.snd_nxt - t.snd_una
+let send_buffer t = if t.unlimited then max_int else t.buffered
+let srtt t = Rtt_estimator.srtt t.rtt
+let min_rtt t = Rtt_estimator.min_rtt t.rtt
+
+(* --- limited-state accounting ------------------------------------------- *)
+
+let account_limited t state =
+  let now = Sim.now t.sim in
+  if state <> t.limited_state then begin
+    let elapsed = now -. t.limited_since in
+    (match t.limited_state with
+    | Not_started -> ()
+    | App -> t.app_limited_s <- t.app_limited_s +. elapsed
+    | Rwnd -> t.rwnd_limited_s <- t.rwnd_limited_s +. elapsed
+    | Cwnd -> t.cwnd_limited_s <- t.cwnd_limited_s +. elapsed
+    | Busy -> t.busy_s <- t.busy_s +. elapsed);
+    t.limited_state <- state;
+    t.limited_since <- now
+  end
+
+let app_limited_now t = (not t.unlimited) && t.buffered < t.mss
+
+(* --- scoreboard helpers --------------------------------------------------- *)
+
+let remove_from_pipe t seg =
+  if seg.in_pipe then begin
+    seg.in_pipe <- false;
+    t.pipe_bytes <- t.pipe_bytes - seg.len
+  end
+
+let mark_lost t seg =
+  if (not seg.lost) && not seg.sacked then begin
+    seg.lost <- true;
+    t.lost_bytes <- t.lost_bytes + seg.len;
+    remove_from_pipe t seg
+  end
+
+(* A segment is presumed lost once three segments' worth of later data has
+   been selectively acknowledged (RFC 6675's DupThresh in bytes).
+   Retransmissions get a RACK-style time-based rule instead: unsacked,
+   below the SACK frontier, and older than ~1.5 smoothed RTTs — without
+   it, a lost retransmission would linger until the RTO backstop even
+   though acks keep arriving. *)
+let detect_losses t =
+  let now = Sim.now t.sim in
+  let srtt = Rtt_estimator.srtt t.rtt in
+  let reorder_window = if srtt > 0.0 then 1.5 *. srtt else 0.1 in
+  Queue.iter
+    (fun seg ->
+      if (not seg.sacked) && not seg.lost then begin
+        if seg.retx_count = 0 && seg.seq + seg.len + (3 * t.mss) <= t.highest_sacked then
+          mark_lost t seg
+        else if
+          seg.sent_at < t.newest_delivered_sent_at && now -. seg.sent_at > reorder_window
+        then
+          (* RACK-style: a segment sent later has been delivered, and this
+             one is older than the reordering window. Covers lost
+             retransmissions and holes past the SACK frontier, which
+             would otherwise wait for the RTO backstop. *)
+          mark_lost t seg
+      end)
+    t.segments
+
+let enter_recovery t =
+  if not t.in_recovery then begin
+    t.in_recovery <- true;
+    t.recover <- t.snd_nxt;
+    t.cca.Cca.on_loss { Cca.now = Sim.now t.sim; inflight = inflight t; mss = t.mss }
+  end
+
+(* --- timers ---------------------------------------------------------------- *)
+
+let cancel_rto t =
+  match t.rto_event with
+  | Some id ->
+      Sim.cancel t.sim id;
+      t.rto_event <- None
+  | None -> ()
+
+(* --- transmission ----------------------------------------------------------- *)
+
+let pacing_delay t bytes =
+  let rate = t.cca.Cca.pacing_rate in
+  if Float.is_finite rate && rate > 0.0 then float_of_int bytes *. 8.0 /. rate else 0.0
+
+let transmit t (seg : segment) ~is_retx =
+  let now = Sim.now t.sim in
+  seg.sent_at <- now;
+  seg.in_pipe <- true;
+  t.pipe_bytes <- t.pipe_bytes + seg.len;
+  seg.delivered_at_send <- t.snd_una;
+  seg.app_limited_at_send <- app_limited_now t;
+  t.bytes_sent <- t.bytes_sent + seg.len;
+  if is_retx then begin
+    seg.retx_count <- seg.retx_count + 1;
+    t.bytes_retrans <- t.bytes_retrans + seg.len;
+    t.segs_retrans <- t.segs_retrans + 1
+  end;
+  t.pace_next <- Float.max now t.pace_next +. pacing_delay t seg.len;
+  t.cca.Cca.on_send ~now ~bytes:seg.len;
+  t.path
+    (Packet.data ~flow:t.flow ~seq:seg.seq ~payload_bytes:seg.len ~retx:is_retx ~sent_at:now ())
+
+let next_lost_segment t =
+  if t.lost_bytes = 0 then None
+  else begin
+    let found = ref None in
+    (try
+       Queue.iter
+         (fun seg ->
+           if seg.lost then begin
+             found := Some seg;
+             raise Exit
+           end)
+         t.segments
+     with Exit -> ());
+    !found
+  end
+
+let rec arm_rto t =
+  cancel_rto t;
+  if inflight t > 0 && not t.stopped then begin
+    let delay = Rtt_estimator.rto t.rtt in
+    t.rto_event <- Some (Sim.schedule t.sim ~delay (fun () -> on_rto t))
+  end
+
+and on_rto t =
+  t.rto_event <- None;
+  if inflight t > 0 && not t.stopped then begin
+    t.rto_count <- t.rto_count + 1;
+    Rtt_estimator.backoff t.rtt;
+    t.cca.Cca.on_rto ~now:(Sim.now t.sim);
+    t.dupacks <- 0;
+    t.in_recovery <- true;
+    t.recover <- t.snd_nxt;
+    (* Everything unsacked is presumed lost and will be retransmitted as
+       the (collapsed) window allows. *)
+    Queue.iter (fun seg -> if not seg.sacked then mark_lost t seg) t.segments;
+    try_send t;
+    arm_rto t
+  end
+
+and try_send t =
+  if t.stopped then ()
+  else begin
+    let continue = ref true in
+    while !continue do
+      let now = Sim.now t.sim in
+      let cwnd_room = t.cca.Cca.cwnd -. float_of_int t.pipe_bytes in
+      let pace_blocked = now < t.pace_next in
+      let schedule_pace () =
+        if not t.pace_pending then begin
+          t.pace_pending <- true;
+          ignore
+            (Sim.schedule t.sim ~delay:(t.pace_next -. now) (fun () ->
+                 t.pace_pending <- false;
+                 try_send t))
+        end
+      in
+      match next_lost_segment t with
+      | Some seg ->
+          if cwnd_room < float_of_int seg.len then begin
+            continue := false;
+            account_limited t Cwnd
+          end
+          else if pace_blocked then begin
+            continue := false;
+            account_limited t Busy;
+            schedule_pace ()
+          end
+          else begin
+            seg.lost <- false;
+            t.lost_bytes <- t.lost_bytes - seg.len;
+            transmit t seg ~is_retx:true;
+            if t.rto_event = None then arm_rto t;
+            account_limited t Busy
+          end
+      | None ->
+          let available = if t.unlimited then t.mss else min t.buffered t.mss in
+          let rwnd_room = t.rwnd - inflight t in
+          if available <= 0 then begin
+            (* No data to send: application-limited even while earlier
+               data is still in flight (Linux's tcp_info semantics). *)
+            continue := false;
+            account_limited t App
+          end
+          else if cwnd_room < float_of_int available then begin
+            continue := false;
+            account_limited t Cwnd
+          end
+          else if rwnd_room < available then begin
+            continue := false;
+            account_limited t Rwnd
+          end
+          else if pace_blocked then begin
+            continue := false;
+            account_limited t Busy;
+            schedule_pace ()
+          end
+          else begin
+            let seg =
+              {
+                seq = t.snd_nxt;
+                len = available;
+                sent_at = now;
+                retx_count = 0;
+                sacked = false;
+                lost = false;
+                in_pipe = false;
+                delivered_at_send = t.snd_una;
+                app_limited_at_send = false;
+              }
+            in
+            Queue.push seg t.segments;
+            t.snd_nxt <- t.snd_nxt + available;
+            if not t.unlimited then t.buffered <- t.buffered - available;
+            transmit t seg ~is_retx:false;
+            if t.rto_event = None then arm_rto t;
+            account_limited t Busy
+          end
+    done
+  end
+
+(* --- ack processing --------------------------------------------------------- *)
+
+let check_complete t =
+  if t.closed && (not t.completed) && t.buffered = 0 && inflight t = 0 then begin
+    t.completed <- true;
+    cancel_rto t;
+    account_limited t App;
+    t.on_complete t
+  end
+
+let process_sacks t sacks =
+  List.iter
+    (fun (lo, hi) ->
+      if hi > t.highest_sacked then t.highest_sacked <- hi;
+      Queue.iter
+        (fun seg ->
+          if (not seg.sacked) && seg.seq >= lo && seg.seq + seg.len <= hi then begin
+            seg.sacked <- true;
+            t.delivered_bytes <- t.delivered_bytes + seg.len;
+            if seg.sent_at > t.newest_delivered_sent_at then
+              t.newest_delivered_sent_at <- seg.sent_at;
+            if seg.lost then begin
+              seg.lost <- false;
+              t.lost_bytes <- t.lost_bytes - seg.len
+            end;
+            remove_from_pipe t seg
+          end)
+        t.segments)
+    sacks
+
+let handle_ack t (pkt : Packet.t) =
+  if t.stopped then ()
+  else begin
+    let now = Sim.now t.sim in
+    t.rwnd <- pkt.rwnd;
+    process_sacks t pkt.sacks;
+    (* ECN: a congestion-experienced echo is a loss-equivalent window
+       signal — without a retransmission — rate-limited to once per
+       smoothed RTT (RFC 3168 semantics, simplified). *)
+    (if pkt.ece then
+       let srtt = Float.max 0.01 (Rtt_estimator.srtt t.rtt) in
+       if now -. t.last_ecn_response > srtt then begin
+         t.last_ecn_response <- now;
+         t.ecn_responses <- t.ecn_responses + 1;
+         t.cca.Cca.on_loss { Cca.now; inflight = inflight t; mss = t.mss }
+       end);
+    if pkt.ack > t.snd_una then begin
+      let newly_acked = pkt.ack - t.snd_una in
+      t.snd_una <- pkt.ack;
+      t.dupacks <- 0;
+      (* RTT from the ack's echoed transmit timestamp; Karn's rule skips
+         acks triggered by retransmitted segments. *)
+      let rtt_sample =
+        if pkt.echo > 0.0 && not pkt.retx then Some (now -. pkt.echo) else None
+      in
+      (match rtt_sample with
+      | Some r when r > 0.0 -> Rtt_estimator.observe t.rtt r
+      | Some _ | None -> ());
+      (* Retire fully-acked segments. *)
+      let continue = ref true in
+      while !continue do
+        match Queue.peek_opt t.segments with
+        | Some seg when seg.seq + seg.len <= t.snd_una ->
+            ignore (Queue.pop t.segments);
+            remove_from_pipe t seg;
+            if not seg.sacked then t.delivered_bytes <- t.delivered_bytes + seg.len;
+            if seg.sent_at > t.newest_delivered_sent_at then
+              t.newest_delivered_sent_at <- seg.sent_at;
+            if seg.lost then begin
+              seg.lost <- false;
+              t.lost_bytes <- t.lost_bytes - seg.len
+            end
+        | Some _ | None -> continue := false
+      done;
+      (* Delivery rate: acked bytes over a sliding window of roughly one
+         smoothed RTT (floor 20 ms). Windowed averaging is robust to the
+         bursty cumulative-ack jumps SACK recovery produces. The baseline
+         is the most recent point that has aged out of the window. *)
+      Queue.push (now, t.delivered_bytes) t.ack_history;
+      let window = Float.max 0.02 (Rtt_estimator.srtt t.rtt) in
+      let continue_trim = ref true in
+      while !continue_trim do
+        match Queue.peek_opt t.ack_history with
+        | Some (ts, _) when ts <= now -. window -> t.rate_baseline <- Queue.take_opt t.ack_history
+        | Some _ | None -> continue_trim := false
+      done;
+      (match t.rate_baseline with
+      | Some (t0, d0) when now > t0 ->
+          t.last_delivery_rate <- float_of_int (t.delivered_bytes - d0) *. 8.0 /. (now -. t0)
+      | Some _ | None -> ());
+      let app_limited_sample = app_limited_now t && inflight t < t.mss * 4 in
+      detect_losses t;
+      if t.lost_bytes > 0 then enter_recovery t;
+      if t.in_recovery && t.snd_una >= t.recover then t.in_recovery <- false;
+      let ack_info =
+        {
+          Cca.now;
+          rtt_sample;
+          srtt = Rtt_estimator.srtt t.rtt;
+          min_rtt = Rtt_estimator.min_rtt t.rtt;
+          newly_acked;
+          inflight = inflight t;
+          delivery_rate = t.last_delivery_rate;
+          app_limited = app_limited_sample;
+          mss = t.mss;
+        }
+      in
+      t.cca.Cca.on_ack ack_info;
+      arm_rto t;
+      try_send t;
+      check_complete t
+    end
+    else begin
+      (* Duplicate ack: the SACK scoreboard carries the real signal; the
+         counter is a fallback for the head-of-line hole. *)
+      if inflight t > 0 then begin
+        t.dupacks <- t.dupacks + 1;
+        detect_losses t;
+        if t.dupacks >= 3 then begin
+          match Queue.peek_opt t.segments with
+          | Some seg when (not seg.sacked) && seg.retx_count = 0 -> mark_lost t seg
+          | Some _ | None -> ()
+        end;
+        if t.lost_bytes > 0 then enter_recovery t;
+        try_send t
+      end
+    end
+  end
+
+(* --- application interface --------------------------------------------------- *)
+
+let write t n =
+  if n <= 0 then invalid_arg "Sender.write: bytes must be positive";
+  if t.closed then invalid_arg "Sender.write: sender is closed";
+  t.buffered <- t.buffered + n;
+  try_send t
+
+let set_unlimited t =
+  t.unlimited <- true;
+  try_send t
+
+let close t =
+  t.closed <- true;
+  t.unlimited <- false;
+  check_complete t
+
+let stop t =
+  t.stopped <- true;
+  cancel_rto t
+
+let info t =
+  let now = Sim.now t.sim in
+  (* Flush the in-progress limited interval without changing state. *)
+  let extra = now -. t.limited_since in
+  let app = t.app_limited_s +. (match t.limited_state with App -> extra | _ -> 0.0) in
+  let rwnd = t.rwnd_limited_s +. (match t.limited_state with Rwnd -> extra | _ -> 0.0) in
+  let cwnd = t.cwnd_limited_s +. (match t.limited_state with Cwnd -> extra | _ -> 0.0) in
+  {
+    Tcp_info.at = now;
+    bytes_acked = t.snd_una;
+    bytes_sent = t.bytes_sent;
+    bytes_retrans = t.bytes_retrans;
+    segs_retrans = t.segs_retrans;
+    cwnd_bytes = t.cca.Cca.cwnd;
+    srtt = Rtt_estimator.srtt t.rtt;
+    min_rtt = Rtt_estimator.min_rtt t.rtt;
+    delivery_rate_bps = t.last_delivery_rate;
+    app_limited_s = app;
+    rwnd_limited_s = rwnd;
+    cwnd_limited_s = cwnd;
+    elapsed_s = now -. t.started_at;
+  }
+
+let create sim ~flow ~cca ~path ?(mss = Ccsim_util.Units.mss) ?(on_complete = fun _ -> ()) () =
+  {
+    sim;
+    flow;
+    cca;
+    path;
+    mss;
+    on_complete;
+    rtt = Rtt_estimator.create ();
+    snd_una = 0;
+    snd_nxt = 0;
+    buffered = 0;
+    unlimited = false;
+    closed = false;
+    completed = false;
+    stopped = false;
+    rwnd = max_int;
+    segments = Queue.create ();
+    pipe_bytes = 0;
+    lost_bytes = 0;
+    highest_sacked = 0;
+    newest_delivered_sent_at = neg_infinity;
+    dupacks = 0;
+    in_recovery = false;
+    recover = 0;
+    last_ecn_response = neg_infinity;
+    ecn_responses = 0;
+    rto_event = None;
+    pace_next = 0.0;
+    pace_pending = false;
+    started_at = Sim.now sim;
+    bytes_sent = 0;
+    bytes_retrans = 0;
+    segs_retrans = 0;
+    rto_count = 0;
+    last_delivery_rate = 0.0;
+    ack_history = Queue.create ();
+    rate_baseline = None;
+    delivered_bytes = 0;
+    limited_state = Not_started;
+    limited_since = Sim.now sim;
+    app_limited_s = 0.0;
+    rwnd_limited_s = 0.0;
+    cwnd_limited_s = 0.0;
+    busy_s = 0.0;
+  }

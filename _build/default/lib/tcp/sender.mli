@@ -1,0 +1,71 @@
+(** TCP sender: segmentation, loss detection/recovery, pacing, and
+    limited-state accounting.
+
+    The model is NewReno-style: MSS-sized segments, cumulative acks,
+    fast retransmit after three duplicate acks with one retransmission
+    per partial ack during recovery, and an RFC 6298 retransmission
+    timer with exponential backoff (no SACK — see DESIGN.md). The
+    congestion window and optional pacing rate come from the attached
+    {!Ccsim_cca.Cca.t}; BBR-style delivery-rate samples are fed back to
+    it on every ack.
+
+    Applications put bytes in the send buffer with {!write} (or declare
+    the flow persistently backlogged with {!set_unlimited}); the sender
+    tracks, with cumulative timers, whether the connection is limited by
+    the application, the receiver window, or the congestion window —
+    the TCPInfo fields the paper's M-Lab analysis keys on. *)
+
+type t
+
+val create :
+  Ccsim_engine.Sim.t ->
+  flow:int ->
+  cca:Ccsim_cca.Cca.t ->
+  path:(Ccsim_net.Packet.t -> unit) ->
+  ?mss:int ->
+  ?on_complete:(t -> unit) ->
+  unit ->
+  t
+(** [path] is the flow's data injection point (e.g.
+    [Topology.fwd_entry]). [on_complete] fires when {!close} was called
+    and every written byte has been cumulatively acknowledged. *)
+
+val flow : t -> int
+val write : t -> int -> unit
+(** Append bytes to the send buffer and try to transmit. *)
+
+val set_unlimited : t -> unit
+(** Mark the flow persistently backlogged (bulk transfer). *)
+
+val close : t -> unit
+(** No more application data will arrive; [on_complete] fires once
+    outstanding data is acknowledged (immediately if none). *)
+
+val handle_ack : t -> Ccsim_net.Packet.t -> unit
+(** Deliver an ack packet (register this with the reverse dispatch). *)
+
+val bytes_acked : t -> int
+val ecn_responses : t -> int
+(** Number of once-per-RTT congestion responses triggered by ECN echoes
+    (requires an ECN-marking qdisc such as {!Ccsim_net.Red.create}
+    [~ecn:true]). *)
+
+val bytes_sent : t -> int
+val bytes_retrans : t -> int
+val segs_retrans : t -> int
+val inflight : t -> int
+val send_buffer : t -> int
+(** Unsent application bytes currently buffered ([max_int]-ish when
+    unlimited). *)
+
+val cca : t -> Ccsim_cca.Cca.t
+val srtt : t -> float
+val min_rtt : t -> float
+(** [infinity] before the first RTT sample. *)
+
+val info : t -> Tcp_info.t
+(** Current TCPInfo snapshot. *)
+
+val stop : t -> unit
+(** Halt transmission and cancel timers (used when tearing a flow down
+    mid-simulation). *)

@@ -1,0 +1,29 @@
+type t = {
+  at : float;
+  bytes_acked : int;
+  bytes_sent : int;
+  bytes_retrans : int;
+  segs_retrans : int;
+  cwnd_bytes : float;
+  srtt : float;
+  min_rtt : float;
+  delivery_rate_bps : float;
+  app_limited_s : float;
+  rwnd_limited_s : float;
+  cwnd_limited_s : float;
+  elapsed_s : float;
+}
+
+let throughput_bps ~prev ~cur =
+  if cur.at <= prev.at then invalid_arg "Tcp_info.throughput_bps: snapshots out of order";
+  float_of_int (cur.bytes_acked - prev.bytes_acked) *. 8.0 /. (cur.at -. prev.at)
+
+let fraction_of_lifetime value t = if t.elapsed_s <= 0.0 then 0.0 else value /. t.elapsed_s
+let app_limited_fraction t = fraction_of_lifetime t.app_limited_s t
+let rwnd_limited_fraction t = fraction_of_lifetime t.rwnd_limited_s t
+
+let pp ppf t =
+  Format.fprintf ppf
+    "t=%.3f acked=%d sent=%d retx=%d cwnd=%.0f srtt=%.4f app_lim=%.2fs rwnd_lim=%.2fs" t.at
+    t.bytes_acked t.bytes_sent t.segs_retrans t.cwnd_bytes t.srtt t.app_limited_s
+    t.rwnd_limited_s

@@ -1,0 +1,1 @@
+lib/util/fairness.ml: Array Float

@@ -1,0 +1,90 @@
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let escape_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let row_to_string fields = String.concat "," (List.map escape_field fields)
+
+let to_string ~header rows =
+  let width = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> width then
+        invalid_arg (Printf.sprintf "Csv.to_string: row %d arity mismatch" i))
+    rows;
+  String.concat "\n" (row_to_string header :: List.map row_to_string rows) ^ "\n"
+
+let write_file ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~header rows))
+
+let parse_line line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then flush_field ()
+    else
+      match line.[i] with
+      | ',' ->
+          flush_field ();
+          plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then invalid_arg "Csv.parse_line: unterminated quote"
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' ->
+          (* end of quoted section; expect ',' or end *)
+          if i + 1 >= n then flush_field ()
+          else if line.[i + 1] = ',' then begin
+            flush_field ();
+            plain (i + 2)
+          end
+          else invalid_arg "Csv.parse_line: junk after closing quote"
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  List.rev !fields
+
+let of_timeseries series ~names =
+  let a, b = names in
+  let rows =
+    List.map
+      (fun (time, value) -> [ Printf.sprintf "%.6f" time; Printf.sprintf "%.6f" value ])
+      (Timeseries.to_list series)
+  in
+  to_string ~header:[ a; b ] rows
+
+let of_cdf cdf =
+  let rows =
+    List.map
+      (fun (x, f) -> [ Printf.sprintf "%.6f" x; Printf.sprintf "%.6f" f ])
+      (Cdf.points cdf)
+  in
+  to_string ~header:[ "value"; "cumulative_probability" ] rows

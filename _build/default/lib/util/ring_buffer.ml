@@ -1,0 +1,63 @@
+type t = {
+  data : float array;
+  mutable head : int; (* index of the oldest element *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring_buffer.create: capacity must be positive";
+  { data = Array.make capacity 0.0; head = 0; len = 0 }
+
+let capacity t = Array.length t.data
+let length t = t.len
+let is_full t = t.len = capacity t
+
+let push t x =
+  let cap = capacity t in
+  if t.len < cap then begin
+    t.data.((t.head + t.len) mod cap) <- x;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.data.(t.head) <- x;
+    t.head <- (t.head + 1) mod cap
+  end
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ring_buffer.get: index out of range";
+  t.data.((t.head + i) mod capacity t)
+
+let newest t =
+  if t.len = 0 then invalid_arg "Ring_buffer.newest: empty buffer";
+  get t (t.len - 1)
+
+let oldest t =
+  if t.len = 0 then invalid_arg "Ring_buffer.oldest: empty buffer";
+  get t 0
+
+let to_array t = Array.init t.len (get t)
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (get t i)
+  done;
+  !acc
+
+let nonempty name t = if t.len = 0 then invalid_arg (name ^ ": empty buffer")
+
+let max_value t =
+  nonempty "Ring_buffer.max_value" t;
+  fold t ~init:neg_infinity ~f:Float.max
+
+let min_value t =
+  nonempty "Ring_buffer.min_value" t;
+  fold t ~init:infinity ~f:Float.min
+
+let mean t =
+  nonempty "Ring_buffer.mean" t;
+  fold t ~init:0.0 ~f:( +. ) /. float_of_int t.len
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0

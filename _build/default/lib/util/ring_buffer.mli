@@ -1,0 +1,41 @@
+(** Fixed-capacity sliding window of floats.
+
+    Nimbus keeps the last N cross-traffic samples for its FFT; windowed
+    max/min filters (BBR's bandwidth filter) also build on this. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] if capacity is not positive. *)
+
+val push : t -> float -> unit
+(** Append, evicting the oldest element when full. *)
+
+val length : t -> int
+val capacity : t -> int
+val is_full : t -> bool
+
+val get : t -> int -> float
+(** [get t i] is the i-th oldest retained element; raises
+    [Invalid_argument] out of range. *)
+
+val newest : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val oldest : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val to_array : t -> float array
+(** Oldest-to-newest snapshot. *)
+
+val fold : t -> init:'a -> f:('a -> float -> 'a) -> 'a
+val max_value : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val min_value : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val mean : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val clear : t -> unit

@@ -1,0 +1,60 @@
+(** Time-stamped float series.
+
+    Telemetry from the simulator (per-flow throughput, queue occupancy,
+    Nimbus cross-traffic estimates) is collected as append-only (time,
+    value) series and post-processed with the helpers here: resampling to
+    a fixed grid, converting cumulative byte counters into rates, EWMA
+    smoothing, windowed aggregation. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> time:float -> value:float -> unit
+(** Append a point. Times must be non-decreasing; raises
+    [Invalid_argument] otherwise. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val times : t -> float array
+val values : t -> float array
+
+val last : t -> (float * float) option
+(** Most recent (time, value), if any. *)
+
+val to_list : t -> (float * float) list
+
+val value_at : t -> float -> float
+(** [value_at ts time] is the value of the most recent point at or before
+    [time] (zero-order hold). Raises [Invalid_argument] if [time] precedes
+    the first point or the series is empty. *)
+
+val resample : t -> interval:float -> t
+(** Zero-order-hold resampling onto a fixed grid starting at the first
+    point's time. *)
+
+val rate_of_cumulative : t -> interval:float -> t
+(** Interpret values as a cumulative counter (e.g. bytes acked) and
+    produce a per-interval rate series: point at time [t_i] holds
+    [(c(t_i) - c(t_i - interval)) / interval]. *)
+
+val ewma : t -> alpha:float -> t
+(** Exponentially weighted moving average with smoothing factor
+    [alpha] in (0, 1]: y_i = alpha * x_i + (1 - alpha) * y_(i-1). *)
+
+val window_mean : t -> half_width:float -> time:float -> float
+(** Mean of values with timestamps within [time +- half_width]; 0 if the
+    window is empty. *)
+
+val between : t -> lo:float -> hi:float -> t
+(** Sub-series with times in [\[lo, hi\]]. *)
+
+val map_values : t -> f:(float -> float) -> t
+
+val mean_value : t -> float
+(** Mean of the values. Raises [Invalid_argument] when empty. *)
+
+val time_weighted_mean : t -> until:float -> float
+(** Mean weighted by holding time (zero-order hold), up to [until].
+    Raises [Invalid_argument] when empty or [until] precedes the start. *)

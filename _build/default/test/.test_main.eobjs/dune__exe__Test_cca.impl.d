@@ -1,0 +1,1 @@
+test/test_cca.ml: Alcotest Ccsim_cca Ccsim_util List

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Ccsim_engine Ccsim_util List

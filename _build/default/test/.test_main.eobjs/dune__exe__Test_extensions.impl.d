@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Ccsim_cca Ccsim_core Ccsim_engine Ccsim_net Ccsim_tcp Ccsim_util List Printf String

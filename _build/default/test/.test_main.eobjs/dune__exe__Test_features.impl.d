@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Ccsim_cca Ccsim_engine Ccsim_net Ccsim_tcp Ccsim_util

@@ -1,0 +1,1 @@
+test/test_measure.ml: Alcotest Array Ccsim_app Ccsim_cca Ccsim_engine Ccsim_measure Ccsim_net Ccsim_tcp Ccsim_util Float List

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Ccsim_cca Ccsim_engine Ccsim_measure Ccsim_net Ccsim_tcp Ccsim_util Float Gen List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Ccsim_engine Ccsim_net Ccsim_util Hashtbl List Option

@@ -1,0 +1,1 @@
+test/test_parking_lot.ml: Alcotest Array Ccsim_cca Ccsim_engine Ccsim_net Ccsim_tcp Ccsim_util List

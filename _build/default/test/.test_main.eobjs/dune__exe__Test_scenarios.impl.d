@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Ccsim_core Ccsim_net Ccsim_util Float List

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ccsim_util Complex Float Fun Gen List QCheck QCheck_alcotest String Test

@@ -1,0 +1,239 @@
+(* Tests for the application-traffic layer. *)
+
+module Sim = Ccsim_engine.Sim
+module Net = Ccsim_net
+module Tcp = Ccsim_tcp
+module App = Ccsim_app
+module U = Ccsim_util
+
+let make_topo ?(rate = 50e6) ?(delay = 0.01) sim =
+  Net.Topology.dumbbell sim ~rate_bps:rate ~delay_s:delay ()
+
+let establish ?(flow = 0) ?(cca = Ccsim_cca.Cubic.create ()) topo =
+  Tcp.Connection.establish topo ~flow ~cca ()
+
+(* --- Bulk --------------------------------------------------------------------- *)
+
+let test_bulk_starts_at_time () =
+  let sim = Sim.create () in
+  let topo = make_topo sim in
+  let conn = establish topo in
+  let app = App.Bulk.start sim ~sender:conn.sender ~at:2.0 () in
+  Sim.run ~until:1.0 sim;
+  Alcotest.(check bool) "not yet" false (App.Bulk.started app);
+  Alcotest.(check int) "nothing sent" 0 (Tcp.Sender.bytes_acked conn.sender);
+  Sim.run ~until:5.0 sim;
+  Alcotest.(check bool) "started" true (App.Bulk.started app);
+  Alcotest.(check bool) "data flowing" true (Tcp.Sender.bytes_acked conn.sender > 0)
+
+let test_bulk_stop_closes () =
+  let sim = Sim.create () in
+  let topo = make_topo sim in
+  let conn = establish topo in
+  ignore (App.Bulk.start sim ~sender:conn.sender ~stop_at:1.0 ());
+  Sim.run ~until:1.5 sim;
+  let at_stop = Tcp.Sender.bytes_acked conn.sender in
+  Sim.run ~until:5.0 sim;
+  (* Only in-flight data drains after close. *)
+  Alcotest.(check bool) "sending stopped" true
+    (Tcp.Sender.bytes_acked conn.sender - at_stop < 2_000_000)
+
+(* --- Cbr ----------------------------------------------------------------------- *)
+
+let test_cbr_tcp_rate () =
+  let sim = Sim.create () in
+  let topo = make_topo sim in
+  let conn = establish topo in
+  let cbr = App.Cbr.over_tcp sim ~sender:conn.sender ~rate_bps:8e6 () in
+  Sim.run ~until:10.0 sim;
+  let offered = float_of_int (App.Cbr.bytes_offered cbr) *. 8.0 /. 10.0 in
+  Alcotest.(check bool) "offered ~8 Mbit/s" true (Float.abs (offered -. 8e6) < 0.2e6);
+  let acked = float_of_int (Tcp.Sender.bytes_acked conn.sender) *. 8.0 /. 10.0 in
+  Alcotest.(check bool) "delivered ~offered" true (Float.abs (acked -. 8e6) < 0.5e6)
+
+let test_cbr_udp_even_spacing () =
+  let sim = Sim.create () in
+  let topo = make_topo sim in
+  let sink = Tcp.Udp.Sink.create sim () in
+  Net.Dispatch.register topo.fwd_dispatch ~flow:0 (Tcp.Udp.Sink.handle sink);
+  let source = Tcp.Udp.Source.create sim ~flow:0 ~path:(topo.fwd_entry ~flow:0) () in
+  (* 1200-byte datagrams fit in one MSS, so arrivals stay evenly spaced
+     (a payload above the MSS is split into a bursty packet pair). *)
+  ignore (App.Cbr.over_udp sim ~source ~rate_bps:0.96e6 ~packet_bytes:1200 ~stop:5.0 ());
+  Sim.run ~until:6.0 sim;
+  (* 0.96e6 / (1200*8) = 100 packets/s for 5 s. *)
+  Alcotest.(check bool) "packet count ~500" true
+    (abs (Tcp.Udp.Sink.packets_received sink - 500) <= 2);
+  Alcotest.(check bool) "low jitter" true (Tcp.Udp.Sink.interarrival_jitter sink < 1e-3)
+
+(* --- Onoff ------------------------------------------------------------------------ *)
+
+let test_onoff_duty_cycle () =
+  let sim = Sim.create () in
+  let topo = make_topo sim in
+  let conn = establish topo in
+  let rng = U.Rng.create 42 in
+  let app =
+    App.Onoff.start sim ~sender:conn.sender ~rng ~rate_bps:8e6 ~mean_on:0.5 ~mean_off:0.5 ()
+  in
+  Sim.run ~until:60.0 sim;
+  (* 50% duty cycle: offered ~ 4 Mbit/s over the run. *)
+  let offered = float_of_int (App.Onoff.bytes_offered app) *. 8.0 /. 60.0 in
+  Alcotest.(check bool) "mean rate near half" true (offered > 2.5e6 && offered < 5.5e6);
+  let frac = App.Onoff.on_fraction app in
+  Alcotest.(check bool) "on fraction near 0.5" true (frac > 0.3 && frac < 0.7)
+
+(* --- Poisson short flows ------------------------------------------------------------- *)
+
+let test_poisson_arrival_rate () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:100e6 sim in
+  let rng = U.Rng.create 1 in
+  let app =
+    App.Poisson_flows.start sim topo ~rng ~arrival_rate:20.0 ~mean_size_bytes:20_000.0
+      ~stop:10.0 ()
+  in
+  Sim.run ~until:15.0 sim;
+  let n = App.Poisson_flows.spawn_count app in
+  Alcotest.(check bool) "spawned ~200 flows" true (n > 140 && n < 270)
+
+let test_poisson_flows_complete () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:100e6 sim in
+  let rng = U.Rng.create 2 in
+  let app =
+    App.Poisson_flows.start sim topo ~rng ~arrival_rate:10.0 ~mean_size_bytes:20_000.0
+      ~stop:5.0 ()
+  in
+  Sim.run ~until:30.0 sim;
+  let completed = List.length (App.Poisson_flows.completed app) in
+  Alcotest.(check int) "all spawned flows complete" (App.Poisson_flows.spawn_count app)
+    completed
+
+let test_poisson_iw_fraction_sane () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:100e6 sim in
+  let rng = U.Rng.create 3 in
+  let app =
+    App.Poisson_flows.start sim topo ~rng ~arrival_rate:20.0 ~mean_size_bytes:15_000.0
+      ~stop:10.0 ()
+  in
+  Sim.run ~until:30.0 sim;
+  (* With a 15 kB mean and IW10 ~ 14.5 kB, most (heavy-tailed) flows fit. *)
+  let frac = App.Poisson_flows.fraction_within_initial_window app in
+  Alcotest.(check bool) "majority fit in IW" true (frac > 0.5)
+
+let test_poisson_record_consistency () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:100e6 sim in
+  let rng = U.Rng.create 4 in
+  let app =
+    App.Poisson_flows.start sim topo ~rng ~arrival_rate:10.0 ~mean_size_bytes:30_000.0 ~stop:5.0
+      ()
+  in
+  Sim.run ~until:30.0 sim;
+  List.iter
+    (fun (r : App.Poisson_flows.flow_record) ->
+      match r.finished with
+      | Some f -> Alcotest.(check bool) "finish after start" true (f >= r.started)
+      | None -> Alcotest.fail "unfinished flow after drain time")
+    (App.Poisson_flows.flows app)
+
+(* --- Video ----------------------------------------------------------------------------- *)
+
+let test_video_reaches_top_rung_when_capacity_ample () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:100e6 sim in
+  let conn = establish topo in
+  let video = App.Video.start sim ~sender:conn.sender () in
+  Sim.run ~until:60.0 sim;
+  let stats = App.Video.stats video in
+  Alcotest.(check bool) "several chunks" true (stats.chunks_downloaded > 10);
+  Alcotest.(check bool) "mean bitrate near the ladder top" true
+    (stats.mean_bitrate_bps > 15e6);
+  Alcotest.(check (float 0.5)) "no rebuffering" 0.0 stats.rebuffer_s
+
+let test_video_adapts_down_when_capacity_scarce () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:4e6 sim in
+  let conn = establish topo in
+  let video = App.Video.start sim ~sender:conn.sender () in
+  Sim.run ~until:60.0 sim;
+  let stats = App.Video.stats video in
+  Alcotest.(check bool) "bitrate below capacity" true (stats.mean_bitrate_bps < 4e6);
+  Alcotest.(check bool) "kept playing" true (stats.chunks_downloaded > 10)
+
+let test_video_demand_bounded () =
+  (* The §2.2 claim: even with 10x the capacity, the stream's steady
+     demand is the ladder top. The startup phase races to fill the
+     playback buffer, so measure after it is full. *)
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:250e6 sim in
+  let conn = establish topo in
+  ignore (App.Video.start sim ~sender:conn.sender ());
+  let acked_at_40 = ref 0 in
+  ignore (Sim.schedule_at sim ~time:40.0 (fun () -> acked_at_40 := Tcp.Sender.bytes_acked conn.sender));
+  Sim.run ~until:100.0 sim;
+  let steady_rate =
+    float_of_int (Tcp.Sender.bytes_acked conn.sender - !acked_at_40) *. 8.0 /. 60.0
+  in
+  Alcotest.(check bool) "steady goodput bounded by the ladder top" true (steady_rate < 30e6)
+
+let test_video_buffer_never_exceeds_max () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:100e6 sim in
+  let conn = establish topo in
+  let video = App.Video.start sim ~sender:conn.sender ~max_buffer_s:10.0 () in
+  Sim.run ~until:60.0 sim;
+  let stats = App.Video.stats video in
+  (* With a 10 s buffer cap and 2 s chunks, a 60 s session downloads at
+     most ~ (60 + 10)/2 + startup chunks. *)
+  Alcotest.(check bool) "request pacing respects the buffer cap" true
+    (stats.chunks_downloaded <= 38)
+
+(* --- Speedtest ---------------------------------------------------------------------------- *)
+
+let test_speedtest_snapshots () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:20e6 sim in
+  let conn = establish topo in
+  let finished = ref None in
+  ignore
+    (App.Speedtest.start sim ~sender:conn.sender ~duration:5.0 ~interval:0.1
+       ~on_finish:(fun r -> finished := Some r)
+       ());
+  Sim.run ~until:6.0 sim;
+  match !finished with
+  | None -> Alcotest.fail "speedtest did not finish"
+  | Some r ->
+      Alcotest.(check bool) "about 50 snapshots" true
+        (Array.length r.snapshots >= 48 && Array.length r.snapshots <= 52);
+      Alcotest.(check bool) "throughput near link rate" true
+        (r.mean_throughput_bps > 15e6 && r.mean_throughput_bps < 20e6);
+      (* Snapshots are monotone in time and bytes. *)
+      Array.iteri
+        (fun i (s : Tcp.Tcp_info.t) ->
+          if i > 0 then begin
+            Alcotest.(check bool) "time monotone" true (s.at > r.snapshots.(i - 1).at);
+            Alcotest.(check bool) "bytes monotone" true
+              (s.bytes_acked >= r.snapshots.(i - 1).bytes_acked)
+          end)
+        r.snapshots
+
+let suite =
+  [
+    ("bulk: delayed start", `Quick, test_bulk_starts_at_time);
+    ("bulk: stop closes the sender", `Quick, test_bulk_stop_closes);
+    ("cbr/tcp: holds the configured rate", `Quick, test_cbr_tcp_rate);
+    ("cbr/udp: even spacing", `Quick, test_cbr_udp_even_spacing);
+    ("onoff: duty cycle", `Quick, test_onoff_duty_cycle);
+    ("poisson: arrival rate", `Quick, test_poisson_arrival_rate);
+    ("poisson: flows complete", `Quick, test_poisson_flows_complete);
+    ("poisson: IW fraction sane", `Quick, test_poisson_iw_fraction_sane);
+    ("poisson: record consistency", `Quick, test_poisson_record_consistency);
+    ("video: top rung with ample capacity", `Quick, test_video_reaches_top_rung_when_capacity_ample);
+    ("video: adapts down under scarcity", `Quick, test_video_adapts_down_when_capacity_scarce);
+    ("video: demand bounded", `Quick, test_video_demand_bounded);
+    ("video: buffer cap respected", `Quick, test_video_buffer_never_exceeds_max);
+    ("speedtest: snapshots and rate", `Quick, test_speedtest_snapshots);
+  ]

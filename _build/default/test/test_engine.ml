@@ -1,0 +1,202 @@
+(* Tests for the discrete-event engine. *)
+
+module Sim = Ccsim_engine.Sim
+module Event_heap = Ccsim_engine.Event_heap
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Event_heap ------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Event_heap.create () in
+  ignore (Event_heap.add h ~time:3.0 "c");
+  ignore (Event_heap.add h ~time:1.0 "a");
+  ignore (Event_heap.add h ~time:2.0 "b");
+  let pop () = match Event_heap.pop h with Some (_, x) -> x | None -> "?" in
+  (* Bind sequentially: list literals evaluate right-to-left. *)
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_heap_fifo_ties () =
+  let h = Event_heap.create () in
+  ignore (Event_heap.add h ~time:1.0 "first");
+  ignore (Event_heap.add h ~time:1.0 "second");
+  ignore (Event_heap.add h ~time:1.0 "third");
+  let pop () = match Event_heap.pop h with Some (_, x) -> x | None -> "?" in
+  let a = pop () in
+  let b = pop () in
+  let c = pop () in
+  Alcotest.(check (list string)) "insertion order at equal time" [ "first"; "second"; "third" ]
+    [ a; b; c ]
+
+let test_heap_cancel () =
+  let h = Event_heap.create () in
+  ignore (Event_heap.add h ~time:1.0 "keep1");
+  let id = Event_heap.add h ~time:2.0 "drop" in
+  ignore (Event_heap.add h ~time:3.0 "keep2");
+  Event_heap.cancel h id;
+  Alcotest.(check int) "live size" 2 (Event_heap.size h);
+  let pop () = match Event_heap.pop h with Some (_, x) -> x | None -> "?" in
+  let a = pop () in
+  let b = pop () in
+  Alcotest.(check (list string)) "cancelled skipped" [ "keep1"; "keep2" ] [ a; b ];
+  Alcotest.(check bool) "empty" true (Event_heap.is_empty h)
+
+let test_heap_cancel_idempotent () =
+  let h = Event_heap.create () in
+  let id = Event_heap.add h ~time:1.0 () in
+  Event_heap.cancel h id;
+  Event_heap.cancel h id;
+  Alcotest.(check int) "size not negative" 0 (Event_heap.size h)
+
+let test_heap_peek_skips_cancelled () =
+  let h = Event_heap.create () in
+  let id = Event_heap.add h ~time:1.0 () in
+  ignore (Event_heap.add h ~time:5.0 ());
+  Event_heap.cancel h id;
+  Alcotest.(check (option (float 1e-9))) "peek" (Some 5.0) (Event_heap.peek_time h)
+
+let test_heap_many_random () =
+  let rng = Ccsim_util.Rng.create 77 in
+  let h = Event_heap.create () in
+  let times = Array.init 1000 (fun _ -> Ccsim_util.Rng.float rng 100.0) in
+  Array.iter (fun time -> ignore (Event_heap.add h ~time time)) times;
+  let out = ref [] in
+  let rec drain () =
+    match Event_heap.pop h with
+    | Some (time, _) ->
+        out := time :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let popped = Array.of_list (List.rev !out) in
+  let sorted = Array.copy times in
+  Array.sort compare sorted;
+  Alcotest.(check (array (float 1e-12))) "heap sorts" sorted popped
+
+(* --- Sim ---------------------------------------------------------------------- *)
+
+let test_sim_clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref [] in
+  ignore (Sim.schedule sim ~delay:2.0 (fun () -> seen := (Sim.now sim, "b") :: !seen));
+  ignore (Sim.schedule sim ~delay:1.0 (fun () -> seen := (Sim.now sim, "a") :: !seen));
+  Sim.run sim;
+  Alcotest.(check (list (pair (float 1e-9) string)))
+    "events in order with clock" [ (1.0, "a"); (2.0, "b") ] (List.rev !seen)
+
+let test_sim_until_sets_clock () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~delay:1.0 (fun () -> ()));
+  Sim.run ~until:10.0 sim;
+  check_float "clock at horizon" 10.0 (Sim.now sim)
+
+let test_sim_until_excludes_later_events () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  ignore (Sim.schedule sim ~delay:5.0 (fun () -> fired := true));
+  Sim.run ~until:4.0 sim;
+  Alcotest.(check bool) "not fired" false !fired;
+  Alcotest.(check int) "still pending" 1 (Sim.pending sim);
+  Sim.run ~until:6.0 sim;
+  Alcotest.(check bool) "fired later" true !fired
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let id = Sim.schedule sim ~delay:1.0 (fun () -> fired := true) in
+  Sim.cancel sim id;
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled event silent" false !fired
+
+let test_sim_negative_delay_rejected () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Sim.schedule: negative delay")
+    (fun () -> ignore (Sim.schedule sim ~delay:(-1.0) (fun () -> ())))
+
+let test_sim_schedule_during_run () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  ignore
+    (Sim.schedule sim ~delay:1.0 (fun () ->
+         order := "outer" :: !order;
+         ignore (Sim.schedule sim ~delay:0.5 (fun () -> order := "inner" :: !order))));
+  Sim.run sim;
+  Alcotest.(check (list string)) "nested scheduling" [ "outer"; "inner" ] (List.rev !order);
+  check_float "clock" 1.5 (Sim.now sim)
+
+let test_sim_stop () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    ignore
+      (Sim.schedule sim ~delay:1.0 (fun () ->
+           incr count;
+           if !count = 3 then Sim.stop sim))
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "stopped after third" 3 !count;
+  Alcotest.(check int) "rest pending" 7 (Sim.pending sim)
+
+let test_sim_every () =
+  let sim = Sim.create () in
+  let ticks = ref [] in
+  Sim.every sim ~interval:1.0 ~stop_after:5.0 (fun () -> ticks := Sim.now sim :: !ticks);
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9))) "periodic ticks" [ 1.0; 2.0; 3.0; 4.0; 5.0 ]
+    (List.rev !ticks)
+
+let test_sim_every_with_start () =
+  let sim = Sim.create () in
+  let ticks = ref 0 in
+  Sim.every sim ~interval:2.0 ~start:1.0 ~stop_after:7.0 (fun () -> incr ticks);
+  Sim.run sim;
+  Alcotest.(check int) "ticks at 1,3,5,7" 4 !ticks
+
+let test_sim_after_n () =
+  let sim = Sim.create () in
+  let seen = ref [] in
+  Sim.after_n sim ~n:3 ~interval:0.5 (fun i -> seen := (i, Sim.now sim) :: !seen);
+  Sim.run sim;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "indexed ticks" [ (0, 0.5); (1, 1.0); (2, 1.5) ] (List.rev !seen)
+
+let test_sim_determinism () =
+  (* Two identical simulations must produce identical event interleavings. *)
+  let run () =
+    let sim = Sim.create () in
+    let log = ref [] in
+    let rng = Ccsim_util.Rng.create 3 in
+    for i = 1 to 50 do
+      ignore
+        (Sim.schedule sim ~delay:(Ccsim_util.Rng.float rng 10.0) (fun () ->
+             log := (i, Sim.now sim) :: !log))
+    done;
+    Sim.run sim;
+    !log
+  in
+  Alcotest.(check (list (pair int (float 1e-12)))) "identical runs" (run ()) (run ())
+
+let suite =
+  [
+    ("heap: ordering", `Quick, test_heap_ordering);
+    ("heap: FIFO tie-break", `Quick, test_heap_fifo_ties);
+    ("heap: cancellation", `Quick, test_heap_cancel);
+    ("heap: cancel idempotent", `Quick, test_heap_cancel_idempotent);
+    ("heap: peek skips cancelled", `Quick, test_heap_peek_skips_cancelled);
+    ("heap: sorts random load", `Quick, test_heap_many_random);
+    ("sim: clock advances", `Quick, test_sim_clock_advances);
+    ("sim: run until sets clock", `Quick, test_sim_until_sets_clock);
+    ("sim: horizon excludes later events", `Quick, test_sim_until_excludes_later_events);
+    ("sim: cancel", `Quick, test_sim_cancel);
+    ("sim: negative delay rejected", `Quick, test_sim_negative_delay_rejected);
+    ("sim: nested scheduling", `Quick, test_sim_schedule_during_run);
+    ("sim: stop", `Quick, test_sim_stop);
+    ("sim: every", `Quick, test_sim_every);
+    ("sim: every with start", `Quick, test_sim_every_with_start);
+    ("sim: after_n", `Quick, test_sim_after_n);
+    ("sim: deterministic", `Quick, test_sim_determinism);
+  ]

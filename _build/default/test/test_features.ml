@@ -1,0 +1,124 @@
+(* Tests for opt-in TCP features: delayed acks and HyStart. *)
+
+module Sim = Ccsim_engine.Sim
+module Net = Ccsim_net
+module Tcp = Ccsim_tcp
+module U = Ccsim_util
+
+let make_topo ?(rate = 20e6) ?(delay = 0.02) sim =
+  Net.Topology.dumbbell sim ~rate_bps:rate ~delay_s:delay ()
+
+(* --- delayed acks ------------------------------------------------------------- *)
+
+let test_delack_halves_ack_count () =
+  let run ~delayed_ack =
+    let sim = Sim.create () in
+    let topo = make_topo sim in
+    let conn =
+      Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Cubic.create ()) ~delayed_ack ()
+    in
+    Tcp.Sender.write conn.sender 500_000;
+    Tcp.Sender.close conn.sender;
+    Sim.run ~until:20.0 sim;
+    (Tcp.Receiver.acks_sent conn.receiver, Tcp.Receiver.bytes_received conn.receiver)
+  in
+  let acks_per_packet, got = run ~delayed_ack:false in
+  let acks_delayed, got_delayed = run ~delayed_ack:true in
+  Alcotest.(check int) "both complete" got got_delayed;
+  Alcotest.(check bool) "roughly half the acks" true
+    (float_of_int acks_delayed < 0.65 *. float_of_int acks_per_packet)
+
+let test_delack_timer_fires_for_odd_tail () =
+  (* A single in-order segment must still be acked (after <= 40 ms). *)
+  let sim = Sim.create () in
+  let acks = ref [] in
+  let receiver =
+    Tcp.Receiver.create sim ~flow:0
+      ~ack_path:(fun pkt -> acks := (Sim.now sim, pkt.Net.Packet.ack) :: !acks)
+      ~delayed_ack:true ()
+  in
+  Tcp.Receiver.handle_data receiver
+    (Net.Packet.data ~flow:0 ~seq:0 ~payload_bytes:1000 ~sent_at:0.0 ());
+  Sim.run ~until:1.0 sim;
+  match !acks with
+  | [ (at, 1000) ] ->
+      Alcotest.(check bool) "fired within the 40 ms delack timer" true (at <= 0.045)
+  | _ -> Alcotest.fail "expected exactly one delayed ack"
+
+let test_delack_immediate_on_out_of_order () =
+  let sim = Sim.create () in
+  let acks = ref 0 in
+  let receiver =
+    Tcp.Receiver.create sim ~flow:0 ~ack_path:(fun _ -> incr acks) ~delayed_ack:true ()
+  in
+  (* An out-of-order arrival must produce an immediate (SACK-carrying)
+     ack, not wait for the timer. *)
+  Tcp.Receiver.handle_data receiver
+    (Net.Packet.data ~flow:0 ~seq:5000 ~payload_bytes:1000 ~sent_at:0.0 ());
+  Alcotest.(check int) "immediate dupack" 1 !acks
+
+let test_delack_transfer_still_fast () =
+  (* Delayed acks must not add per-window stalls on a bulk transfer. *)
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:10e6 sim in
+  let conn =
+    Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Cubic.create ()) ~delayed_ack:true ()
+  in
+  Tcp.Sender.set_unlimited conn.sender;
+  Sim.run ~until:20.0 sim;
+  let goodput = Tcp.Connection.goodput_bps conn ~over:20.0 in
+  Alcotest.(check bool) "still fills the link" true (goodput > 8e6)
+
+(* --- HyStart ------------------------------------------------------------------- *)
+
+let overshoot_drops ~hystart =
+  let sim = Sim.create () in
+  let qdisc = Net.Fifo.create () in
+  let topo = Net.Topology.dumbbell sim ~rate_bps:20e6 ~delay_s:0.04 ~qdisc () in
+  let conn =
+    Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Cubic.create ~hystart ()) ()
+  in
+  Tcp.Sender.set_unlimited conn.sender;
+  Sim.run ~until:10.0 sim;
+  (qdisc.Net.Qdisc.stats.dropped, Tcp.Connection.goodput_bps conn ~over:10.0)
+
+let test_hystart_avoids_overshoot_losses () =
+  let drops_without, _ = overshoot_drops ~hystart:false in
+  let drops_with, goodput_with = overshoot_drops ~hystart:true in
+  Alcotest.(check bool) "slow start overshoot drops packets" true (drops_without > 50);
+  Alcotest.(check bool) "hystart avoids the burst loss" true
+    (drops_with < drops_without / 5);
+  Alcotest.(check bool) "throughput broadly preserved" true (goodput_with > 12e6)
+
+let test_hystart_heuristic () =
+  Alcotest.(check bool) "no exit without min" false
+    (Ccsim_cca.Cca.hystart_delay_exceeded ~min_rtt:infinity ~rtt:1.0);
+  Alcotest.(check bool) "small increase tolerated" false
+    (Ccsim_cca.Cca.hystart_delay_exceeded ~min_rtt:0.1 ~rtt:0.105);
+  Alcotest.(check bool) "large increase exits" true
+    (Ccsim_cca.Cca.hystart_delay_exceeded ~min_rtt:0.1 ~rtt:0.12);
+  Alcotest.(check bool) "4ms floor on short paths" false
+    (Ccsim_cca.Cca.hystart_delay_exceeded ~min_rtt:0.004 ~rtt:0.0075)
+
+let test_hystart_reno_also () =
+  let sim = Sim.create () in
+  let qdisc = Net.Fifo.create () in
+  let topo = Net.Topology.dumbbell sim ~rate_bps:20e6 ~delay_s:0.04 ~qdisc () in
+  let conn =
+    Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Reno.create ~hystart:true ()) ()
+  in
+  Tcp.Sender.set_unlimited conn.sender;
+  Sim.run ~until:10.0 sim;
+  Alcotest.(check bool) "reno+hystart avoids burst loss" true
+    (qdisc.Net.Qdisc.stats.dropped < 20)
+
+let suite =
+  [
+    ("delack: halves ack count", `Quick, test_delack_halves_ack_count);
+    ("delack: timer covers odd tail", `Quick, test_delack_timer_fires_for_odd_tail);
+    ("delack: immediate on out-of-order", `Quick, test_delack_immediate_on_out_of_order);
+    ("delack: bulk transfer unaffected", `Quick, test_delack_transfer_still_fast);
+    ("hystart: avoids overshoot losses", `Quick, test_hystart_avoids_overshoot_losses);
+    ("hystart: delay heuristic", `Quick, test_hystart_heuristic);
+    ("hystart: works for reno too", `Quick, test_hystart_reno_also);
+  ]

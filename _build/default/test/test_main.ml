@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "ccsim"
+    [
+      ("util", Test_util.suite);
+      ("engine", Test_engine.suite);
+      ("net", Test_net.suite);
+      ("cca", Test_cca.suite);
+      ("tcp", Test_tcp.suite);
+      ("app", Test_app.suite);
+      ("measure", Test_measure.suite);
+      ("scenarios", Test_scenarios.suite);
+      ("extensions", Test_extensions.suite);
+      ("models", Test_models.suite);
+      ("features", Test_features.suite);
+      ("parking lot", Test_parking_lot.suite);
+    ]

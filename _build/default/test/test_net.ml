@@ -1,0 +1,389 @@
+(* Tests for the network layer: packets, qdiscs, shapers, links,
+   dispatch, topology. *)
+
+module Sim = Ccsim_engine.Sim
+module Net = Ccsim_net
+module Packet = Ccsim_net.Packet
+module U = Ccsim_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let data ?(flow = 0) ?(size = 1000) ?(seq = 0) () =
+  Packet.data ~flow ~seq ~payload_bytes:size ~header_bytes:0 ~sent_at:0.0 ()
+
+(* --- Packet ------------------------------------------------------------------ *)
+
+let test_packet_uids_unique () =
+  let a = data () and b = data () in
+  Alcotest.(check bool) "distinct uids" true (a.uid <> b.uid)
+
+let test_packet_sizes () =
+  let p = Packet.data ~flow:1 ~seq:100 ~payload_bytes:1448 ~sent_at:1.0 () in
+  Alcotest.(check int) "wire size includes header" (1448 + U.Units.header_bytes) p.size_bytes;
+  Alcotest.(check int) "end seq" (100 + 1448) (Packet.end_seq p);
+  Alcotest.(check bool) "is data" true (Packet.is_data p);
+  let a = Packet.ack ~flow:1 ~ack:500 ~sent_at:1.0 () in
+  Alcotest.(check bool) "ack is not data" false (Packet.is_data a)
+
+(* --- Fifo -------------------------------------------------------------------- *)
+
+let test_fifo_order_and_backlog () =
+  let q = Net.Fifo.create ~limit_bytes:10_000 () in
+  let p1 = data ~seq:1 () and p2 = data ~seq:2 () in
+  Alcotest.(check bool) "enq 1" true (q.Net.Qdisc.enqueue p1);
+  Alcotest.(check bool) "enq 2" true (q.Net.Qdisc.enqueue p2);
+  Alcotest.(check int) "backlog" 2000 (q.Net.Qdisc.backlog_bytes ());
+  (match q.Net.Qdisc.dequeue () with
+  | Some p -> Alcotest.(check int) "fifo order" 1 p.seq
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check int) "backlog drained" 1000 (q.Net.Qdisc.backlog_bytes ())
+
+let test_fifo_drop_tail () =
+  let q = Net.Fifo.create ~limit_bytes:2500 () in
+  Alcotest.(check bool) "enq 1" true (q.Net.Qdisc.enqueue (data ()));
+  Alcotest.(check bool) "enq 2" true (q.Net.Qdisc.enqueue (data ()));
+  Alcotest.(check bool) "third dropped" false (q.Net.Qdisc.enqueue (data ()));
+  Alcotest.(check int) "drop counted" 1 q.Net.Qdisc.stats.dropped;
+  check_float "loss rate" (1.0 /. 3.0) (Net.Qdisc.loss_rate q)
+
+let test_fifo_packet_limit () =
+  let q = Net.Fifo.create ~limit_bytes:1_000_000 ~limit_packets:2 () in
+  ignore (q.Net.Qdisc.enqueue (data ()));
+  ignore (q.Net.Qdisc.enqueue (data ()));
+  Alcotest.(check bool) "packet limit" false (q.Net.Qdisc.enqueue (data ()))
+
+(* --- Drr --------------------------------------------------------------------- *)
+
+let test_drr_round_robin () =
+  let q = Net.Drr.create ~quantum_bytes:1000 ~limit_bytes:100_000 () in
+  (* Flow 0 floods; flow 1 has two packets. Service must alternate. *)
+  for i = 0 to 9 do
+    ignore (q.Net.Qdisc.enqueue (data ~flow:0 ~seq:i ()))
+  done;
+  ignore (q.Net.Qdisc.enqueue (data ~flow:1 ~seq:100 ()));
+  ignore (q.Net.Qdisc.enqueue (data ~flow:1 ~seq:101 ()));
+  let served = ref [] in
+  for _ = 1 to 4 do
+    match q.Net.Qdisc.dequeue () with
+    | Some p -> served := p.Packet.flow :: !served
+    | None -> served := -1 :: !served
+  done;
+  let served = !served in
+  let flow1_served = List.length (List.filter (fun f -> f = 1) served) in
+  Alcotest.(check bool) "flow 1 served early" true (flow1_served >= 1)
+
+let test_drr_fair_bytes () =
+  let q = Net.Drr.create ~quantum_bytes:1000 ~limit_bytes:1_000_000 () in
+  for i = 0 to 99 do
+    ignore (q.Net.Qdisc.enqueue (data ~flow:0 ~seq:i ~size:1000 ()));
+    ignore (q.Net.Qdisc.enqueue (data ~flow:1 ~seq:i ~size:1000 ()))
+  done;
+  let counts = Hashtbl.create 2 in
+  for _ = 1 to 100 do
+    match q.Net.Qdisc.dequeue () with
+    | Some p ->
+        Hashtbl.replace counts p.Packet.flow
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts p.Packet.flow))
+    | None -> ()
+  done;
+  let c0 = Option.value ~default:0 (Hashtbl.find_opt counts 0) in
+  let c1 = Option.value ~default:0 (Hashtbl.find_opt counts 1) in
+  Alcotest.(check int) "equal service" c0 c1
+
+let test_drr_weights () =
+  let q =
+    Net.Drr.create ~quantum_bytes:1000 ~limit_bytes:1_000_000
+      ~weight_of_flow:(fun f -> if f = 0 then 3.0 else 1.0)
+      ()
+  in
+  for i = 0 to 199 do
+    ignore (q.Net.Qdisc.enqueue (data ~flow:0 ~seq:i ~size:1000 ()));
+    ignore (q.Net.Qdisc.enqueue (data ~flow:1 ~seq:i ~size:1000 ()))
+  done;
+  let c0 = ref 0 and c1 = ref 0 in
+  for _ = 1 to 120 do
+    match q.Net.Qdisc.dequeue () with
+    | Some p -> if p.Packet.flow = 0 then incr c0 else incr c1
+    | None -> ()
+  done;
+  (* Expect roughly 3:1 service. *)
+  Alcotest.(check bool) "weighted service"
+    true
+    (!c0 > 2 * !c1)
+
+let test_drr_longest_queue_drop () =
+  let q = Net.Drr.create ~quantum_bytes:1000 ~limit_bytes:5000 () in
+  (* Flow 0 fills the buffer; flow 1's arrival should displace flow 0. *)
+  for i = 0 to 4 do
+    ignore (q.Net.Qdisc.enqueue (data ~flow:0 ~seq:i ~size:1000 ()))
+  done;
+  Alcotest.(check bool) "newcomer admitted" true (q.Net.Qdisc.enqueue (data ~flow:1 ~size:1000 ()));
+  Alcotest.(check int) "one drop from the hog" 1 q.Net.Qdisc.stats.dropped
+
+(* --- Token bucket ---------------------------------------------------------------- *)
+
+let test_token_bucket_conformance () =
+  let tb = Net.Token_bucket.create ~rate_bps:8000.0 ~burst_bytes:1000 ~now:0.0 in
+  (* Bucket starts full: 1000 bytes pass. *)
+  Alcotest.(check bool) "burst passes" true (Net.Token_bucket.try_consume tb ~now:0.0 ~bytes:1000);
+  Alcotest.(check bool) "empty rejects" false (Net.Token_bucket.try_consume tb ~now:0.0 ~bytes:100);
+  (* 8000 bit/s = 1000 B/s; after 0.5 s there are 500 bytes. *)
+  Alcotest.(check bool) "refilled" true (Net.Token_bucket.try_consume tb ~now:0.5 ~bytes:500)
+
+let test_token_bucket_cap () =
+  let tb = Net.Token_bucket.create ~rate_bps:8000.0 ~burst_bytes:1000 ~now:0.0 in
+  ignore (Net.Token_bucket.try_consume tb ~now:0.0 ~bytes:1000);
+  (* Long idle: tokens cap at the burst size. *)
+  check_float "capped" 1000.0 (Net.Token_bucket.tokens tb ~now:100.0)
+
+let test_token_bucket_wait_time () =
+  let tb = Net.Token_bucket.create ~rate_bps:8000.0 ~burst_bytes:1000 ~now:0.0 in
+  ignore (Net.Token_bucket.try_consume tb ~now:0.0 ~bytes:1000);
+  check_float "wait for 250 bytes" 0.25
+    (Net.Token_bucket.time_until_available tb ~now:0.0 ~bytes:250);
+  Alcotest.check_raises "oversized request"
+    (Invalid_argument "Token_bucket.time_until_available: request exceeds burst size") (fun () ->
+      ignore (Net.Token_bucket.time_until_available tb ~now:0.0 ~bytes:2000))
+
+(* --- Shaper / Policer ---------------------------------------------------------------- *)
+
+let test_shaper_limits_rate () =
+  let sim = Sim.create () in
+  let received = ref 0 in
+  let shaper =
+    Net.Shaper.create sim ~rate_bps:80_000.0 (* 10 kB/s *) ~burst_bytes:1000
+      ~limit_bytes:1_000_000
+      ~sink:(fun pkt -> received := !received + pkt.Packet.size_bytes)
+      ()
+  in
+  (* Offer 50 kB instantly; after 2 s only burst + 2 s x 10 kB/s should
+     have passed. *)
+  for i = 0 to 49 do
+    Net.Shaper.input shaper (data ~seq:i ~size:1000 ())
+  done;
+  Sim.run ~until:2.0 sim;
+  Alcotest.(check bool) "rate enforced" true (!received <= 21_100 && !received >= 19_000);
+  Sim.run ~until:10.0 sim;
+  Alcotest.(check int) "eventually all delivered" 50_000 !received;
+  Alcotest.(check int) "nothing dropped" 0 (Net.Shaper.dropped shaper)
+
+let test_shaper_drops_over_limit () =
+  let sim = Sim.create () in
+  let shaper =
+    Net.Shaper.create sim ~rate_bps:8_000.0 ~burst_bytes:500 ~limit_bytes:2000
+      ~sink:(fun _ -> ())
+      ()
+  in
+  for i = 0 to 9 do
+    Net.Shaper.input shaper (data ~seq:i ~size:1000 ())
+  done;
+  Alcotest.(check bool) "drops beyond queue limit" true (Net.Shaper.dropped shaper > 0)
+
+let test_policer_drops_excess () =
+  let sim = Sim.create () in
+  let passed = ref 0 in
+  let policer =
+    Net.Policer.create sim ~rate_bps:80_000.0 ~burst_bytes:2000
+      ~sink:(fun _ -> incr passed)
+      ()
+  in
+  for i = 0 to 9 do
+    Net.Policer.input policer (data ~seq:i ~size:1000 ())
+  done;
+  Alcotest.(check int) "burst passes" 2 !passed;
+  Alcotest.(check int) "rest dropped" 8 (Net.Policer.dropped policer)
+
+(* --- Red / Codel / Prio ----------------------------------------------------------------- *)
+
+let test_red_accepts_below_min_th () =
+  let q = Net.Red.create ~min_th_bytes:10_000 ~max_th_bytes:30_000 ~limit_bytes:100_000 () in
+  for i = 0 to 4 do
+    Alcotest.(check bool) "below threshold admitted" true (q.Net.Qdisc.enqueue (data ~seq:i ()))
+  done
+
+let test_red_drops_under_pressure () =
+  let q = Net.Red.create ~min_th_bytes:2_000 ~max_th_bytes:10_000 ~max_p:0.5 ~weight:0.5
+      ~limit_bytes:50_000 ()
+  in
+  for i = 0 to 199 do
+    ignore (q.Net.Qdisc.enqueue (data ~seq:i ()))
+  done;
+  Alcotest.(check bool) "probabilistic drops occurred" true (q.Net.Qdisc.stats.dropped > 0);
+  Alcotest.(check bool) "but not everything" true (q.Net.Qdisc.stats.enqueued > 0)
+
+let test_red_ecn_marks () =
+  let q =
+    Net.Red.create ~min_th_bytes:1_000 ~max_th_bytes:5_000 ~max_p:1.0 ~weight:1.0 ~ecn:true
+      ~limit_bytes:50_000 ()
+  in
+  for i = 0 to 49 do
+    ignore (q.Net.Qdisc.enqueue (data ~seq:i ()))
+  done;
+  Alcotest.(check bool) "marked instead of dropped" true (q.Net.Qdisc.stats.ecn_marked > 0);
+  Alcotest.(check int) "no drops below hard limit" 0 q.Net.Qdisc.stats.dropped
+
+let test_codel_passes_when_fast () =
+  let now = ref 0.0 in
+  let q = Net.Codel.create ~now:(fun () -> !now) () in
+  ignore (q.Net.Qdisc.enqueue (data ()));
+  now := 0.001;
+  (match q.Net.Qdisc.dequeue () with
+  | Some _ -> ()
+  | None -> Alcotest.fail "packet should pass");
+  Alcotest.(check int) "no drops" 0 q.Net.Qdisc.stats.dropped
+
+let test_codel_drops_standing_queue () =
+  let now = ref 0.0 in
+  let q = Net.Codel.create ~now:(fun () -> !now) ~target:0.005 ~interval:0.1 () in
+  (* Feed a standing queue: every dequeued packet has sojourned 50 ms. *)
+  let dropped_before = q.Net.Qdisc.stats.dropped in
+  for round = 0 to 99 do
+    ignore (q.Net.Qdisc.enqueue (data ~seq:round ()));
+    ignore (q.Net.Qdisc.enqueue (data ~seq:(1000 + round) ()));
+    now := !now +. 0.05;
+    ignore (q.Net.Qdisc.dequeue ())
+  done;
+  Alcotest.(check bool) "codel dropped from standing queue" true
+    (q.Net.Qdisc.stats.dropped > dropped_before)
+
+let test_prio_strict_order () =
+  let q = Net.Prio.create ~bands:3 () in
+  let mk prio seq = Packet.data ~flow:0 ~seq ~payload_bytes:100 ~prio ~sent_at:0.0 () in
+  ignore (q.Net.Qdisc.enqueue (mk 2 1));
+  ignore (q.Net.Qdisc.enqueue (mk 0 2));
+  ignore (q.Net.Qdisc.enqueue (mk 1 3));
+  let pop () = match q.Net.Qdisc.dequeue () with Some p -> p.Packet.seq | None -> -1 in
+  let a = pop () in
+  let b = pop () in
+  let c = pop () in
+  Alcotest.(check (list int)) "priority order" [ 2; 3; 1 ] [ a; b; c ]
+
+(* --- Link -------------------------------------------------------------------------- *)
+
+let test_link_serialization_and_delay () =
+  let sim = Sim.create () in
+  let arrivals = ref [] in
+  let link =
+    Net.Link.create sim ~rate_bps:8_000.0 (* 1000 B/s *) ~delay_s:0.5
+      ~sink:(fun pkt -> arrivals := (Sim.now sim, pkt.Packet.seq) :: !arrivals)
+      ()
+  in
+  Net.Link.send link (data ~seq:1 ~size:1000 ());
+  Net.Link.send link (data ~seq:2 ~size:1000 ());
+  Sim.run sim;
+  (* First packet: 1 s serialization + 0.5 s propagation = 1.5 s.
+     Second: starts serializing at 1 s, arrives 2.5 s. *)
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "timing" [ (1.5, 1); (2.5, 2) ] (List.rev !arrivals)
+
+let test_link_utilization () =
+  let sim = Sim.create () in
+  let link = Net.Link.create sim ~rate_bps:8_000.0 ~delay_s:0.0 ~sink:(fun _ -> ()) () in
+  Net.Link.send link (data ~size:1000 ());
+  Sim.run ~until:2.0 sim;
+  check_float "busy half the time" 0.5 (Net.Link.utilization link ~now:2.0);
+  Alcotest.(check int) "delivered" 1000 (Net.Link.bytes_delivered link)
+
+let test_link_rate_change () =
+  let sim = Sim.create () in
+  let arrivals = ref [] in
+  let link =
+    Net.Link.create sim ~rate_bps:8_000.0 ~delay_s:0.0
+      ~sink:(fun pkt -> arrivals := (Sim.now sim, pkt.Packet.seq) :: !arrivals)
+      ()
+  in
+  Net.Link.send link (data ~seq:1 ~size:1000 ());
+  ignore
+    (Sim.schedule sim ~delay:1.0 (fun () ->
+         Net.Link.set_rate link 16_000.0;
+         Net.Link.send link (data ~seq:2 ~size:1000 ())));
+  Sim.run sim;
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "second packet at doubled rate" [ (1.0, 1); (1.5, 2) ] (List.rev !arrivals)
+
+(* --- Dispatch ------------------------------------------------------------------------ *)
+
+let test_dispatch_routes_by_flow () =
+  let d = Net.Dispatch.create () in
+  let got = ref [] in
+  Net.Dispatch.register d ~flow:1 (fun pkt -> got := (1, pkt.Packet.seq) :: !got);
+  Net.Dispatch.register d ~flow:2 (fun pkt -> got := (2, pkt.Packet.seq) :: !got);
+  Net.Dispatch.deliver d (data ~flow:2 ~seq:7 ());
+  Net.Dispatch.deliver d (data ~flow:1 ~seq:9 ());
+  Net.Dispatch.deliver d (data ~flow:3 ~seq:0 ());
+  Alcotest.(check (list (pair int int))) "routed" [ (2, 7); (1, 9) ] (List.rev !got);
+  Alcotest.(check int) "unmatched counted" 1 (Net.Dispatch.unmatched d)
+
+let test_dispatch_double_register_rejected () =
+  let d = Net.Dispatch.create () in
+  Net.Dispatch.register d ~flow:1 (fun _ -> ());
+  Alcotest.check_raises "duplicate flow"
+    (Invalid_argument "Dispatch.register: flow already registered") (fun () ->
+      Net.Dispatch.register d ~flow:1 (fun _ -> ()))
+
+(* --- Topology ---------------------------------------------------------------------------- *)
+
+let test_topology_end_to_end_delivery () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.dumbbell sim ~rate_bps:1e6 ~delay_s:0.01 () in
+  let got = ref 0 in
+  Net.Dispatch.register topo.fwd_dispatch ~flow:0 (fun _ -> incr got);
+  (topo.fwd_entry ~flow:0) (data ~flow:0 ());
+  Sim.run sim;
+  Alcotest.(check int) "delivered through dumbbell" 1 !got
+
+let test_topology_rtt () =
+  check_float "base rtt" 0.07
+    (let sim = Sim.create () in
+     let topo =
+       Net.Topology.dumbbell sim ~rate_bps:1e6 ~delay_s:0.03 ~edge_delay:(fun _ -> 0.005) ()
+     in
+     Net.Topology.base_rtt topo ~flow:0)
+
+let test_topology_policer_ingress () =
+  let sim = Sim.create () in
+  let topo =
+    Net.Topology.dumbbell sim ~rate_bps:1e7 ~delay_s:0.001
+      ~ingress:(fun _ -> Net.Topology.Police { rate_bps = 80_000.0; burst_bytes = 2000 })
+      ()
+  in
+  let got = ref 0 in
+  Net.Dispatch.register topo.fwd_dispatch ~flow:0 (fun _ -> incr got);
+  for i = 0 to 9 do
+    (topo.fwd_entry ~flow:0) (data ~flow:0 ~seq:i ~size:1000 ())
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "only the burst passes the policer" 2 !got
+
+let suite =
+  [
+    ("packet: unique uids", `Quick, test_packet_uids_unique);
+    ("packet: sizes and kinds", `Quick, test_packet_sizes);
+    ("fifo: order and backlog", `Quick, test_fifo_order_and_backlog);
+    ("fifo: drop tail", `Quick, test_fifo_drop_tail);
+    ("fifo: packet limit", `Quick, test_fifo_packet_limit);
+    ("drr: round robin", `Quick, test_drr_round_robin);
+    ("drr: equal byte service", `Quick, test_drr_fair_bytes);
+    ("drr: weighted service", `Quick, test_drr_weights);
+    ("drr: longest-queue drop", `Quick, test_drr_longest_queue_drop);
+    ("token bucket: conformance", `Quick, test_token_bucket_conformance);
+    ("token bucket: burst cap", `Quick, test_token_bucket_cap);
+    ("token bucket: wait time", `Quick, test_token_bucket_wait_time);
+    ("shaper: enforces rate then delivers all", `Quick, test_shaper_limits_rate);
+    ("shaper: drops over queue limit", `Quick, test_shaper_drops_over_limit);
+    ("policer: drops excess", `Quick, test_policer_drops_excess);
+    ("red: below min threshold", `Quick, test_red_accepts_below_min_th);
+    ("red: drops under pressure", `Quick, test_red_drops_under_pressure);
+    ("red: ecn marking", `Quick, test_red_ecn_marks);
+    ("codel: fast queue untouched", `Quick, test_codel_passes_when_fast);
+    ("codel: standing queue dropped", `Quick, test_codel_drops_standing_queue);
+    ("prio: strict ordering", `Quick, test_prio_strict_order);
+    ("link: serialization + propagation", `Quick, test_link_serialization_and_delay);
+    ("link: utilization accounting", `Quick, test_link_utilization);
+    ("link: mid-run rate change", `Quick, test_link_rate_change);
+    ("dispatch: routes by flow", `Quick, test_dispatch_routes_by_flow);
+    ("dispatch: duplicate rejected", `Quick, test_dispatch_double_register_rejected);
+    ("topology: end-to-end delivery", `Quick, test_topology_end_to_end_delivery);
+    ("topology: base rtt", `Quick, test_topology_rtt);
+    ("topology: policer ingress", `Quick, test_topology_policer_ingress);
+  ]

@@ -1,0 +1,126 @@
+(* Tests for the multi-segment (parking-lot) topology. *)
+
+module Sim = Ccsim_engine.Sim
+module Net = Ccsim_net
+module Tcp = Ccsim_tcp
+module U = Ccsim_util
+
+let test_single_segment_delivery () =
+  let sim = Sim.create () in
+  let pl = Net.Parking_lot.create sim ~rates_bps:[| 10e6 |] () in
+  let got = ref 0 in
+  Net.Dispatch.register (Net.Parking_lot.fwd_dispatch pl) ~flow:0 (fun _ -> incr got);
+  let data_entry, _ = Net.Parking_lot.attach pl ~flow:0 ~enter:0 ~exit_after:0 in
+  data_entry (Net.Packet.data ~flow:0 ~seq:0 ~payload_bytes:1000 ~sent_at:0.0 ());
+  Sim.run sim;
+  Alcotest.(check int) "delivered" 1 !got
+
+let test_multi_segment_routing () =
+  (* Three segments; a flow entering at 0 and exiting after 1 must cross
+     exactly segments 0 and 1 (never 2); a local flow on segment 2 only
+     loads segment 2. *)
+  let sim = Sim.create () in
+  let pl = Net.Parking_lot.create sim ~rates_bps:[| 10e6; 10e6; 10e6 |] () in
+  let links = Net.Parking_lot.links pl in
+  let got = ref [] in
+  Net.Dispatch.register (Net.Parking_lot.fwd_dispatch pl) ~flow:0 (fun _ -> got := 0 :: !got);
+  Net.Dispatch.register (Net.Parking_lot.fwd_dispatch pl) ~flow:1 (fun _ -> got := 1 :: !got);
+  let entry0, _ = Net.Parking_lot.attach pl ~flow:0 ~enter:0 ~exit_after:1 in
+  let entry1, _ = Net.Parking_lot.attach pl ~flow:1 ~enter:2 ~exit_after:2 in
+  entry0 (Net.Packet.data ~flow:0 ~seq:0 ~payload_bytes:1000 ~sent_at:0.0 ());
+  entry1 (Net.Packet.data ~flow:1 ~seq:0 ~payload_bytes:1000 ~sent_at:0.0 ());
+  Sim.run sim;
+  Alcotest.(check int) "both delivered" 2 (List.length !got);
+  Alcotest.(check int) "segment 0 carried one packet" 1
+    (Net.Link.bytes_delivered links.(0) / 1052);
+  Alcotest.(check int) "segment 1 carried one packet" 1
+    (Net.Link.bytes_delivered links.(1) / 1052);
+  Alcotest.(check int) "segment 2 carried one packet" 1
+    (Net.Link.bytes_delivered links.(2) / 1052)
+
+let test_attach_validation () =
+  let sim = Sim.create () in
+  let pl = Net.Parking_lot.create sim ~rates_bps:[| 1e6; 1e6 |] () in
+  Alcotest.check_raises "bad range" (Invalid_argument "Parking_lot.attach: bad segment range")
+    (fun () -> ignore (Net.Parking_lot.attach pl ~flow:0 ~enter:1 ~exit_after:0));
+  ignore (Net.Parking_lot.attach pl ~flow:0 ~enter:0 ~exit_after:1);
+  Alcotest.check_raises "double attach"
+    (Invalid_argument "Parking_lot.attach: flow already attached") (fun () ->
+      ignore (Net.Parking_lot.attach pl ~flow:0 ~enter:0 ~exit_after:1))
+
+let run_parking_lot_flows ~qdisc_of =
+  (* The classic 2-segment parking lot: one long flow end-to-end, one
+     local flow per segment, all Reno bulk. *)
+  let sim = Sim.create () in
+  let pl =
+    Net.Parking_lot.create sim ~rates_bps:[| 10e6; 10e6 |] ~delay_s:0.01 ?qdisc_of ()
+  in
+  let routes = function 0 -> (0, 1) | 1 -> (0, 0) | _ -> (1, 1) in
+  let topo = Net.Parking_lot.as_topology pl ~flow_routes:routes in
+  let conns =
+    List.map
+      (fun flow ->
+        let conn = Tcp.Connection.establish topo ~flow ~cca:(Ccsim_cca.Reno.create ()) () in
+        Tcp.Sender.set_unlimited conn.sender;
+        conn)
+      [ 0; 1; 2 ]
+  in
+  Sim.run ~until:40.0 sim;
+  List.map
+    (fun conn -> float_of_int (Tcp.Receiver.bytes_received conn.Tcp.Connection.receiver) *. 8.0 /. 40.0)
+    conns
+
+let test_long_flow_multi_hop_penalty () =
+  match run_parking_lot_flows ~qdisc_of:None with
+  | [ long; local_a; local_b ] ->
+      (* Each segment is saturated by (long + one local); the long flow
+         crosses two loss points, so under FIFO it gets less than the
+         locals (the multi-hop penalty), and each segment stays busy. *)
+      Alcotest.(check bool) "long flow below both locals" true
+        (long < local_a && long < local_b);
+      Alcotest.(check bool) "segments well used" true (long +. local_a > 8e6);
+      Alcotest.(check bool) "long flow not starved" true (long > 1e6)
+  | _ -> Alcotest.fail "expected three flows"
+
+let test_fq_gives_long_flow_half () =
+  match
+    run_parking_lot_flows ~qdisc_of:(Some (fun _ -> Net.Drr.create ~limit_bytes:1_000_000 ()))
+  with
+  | [ long; local_a; local_b ] ->
+      (* Per-segment DRR: the long flow gets half of each segment. *)
+      Alcotest.(check bool) "long near half" true (long > 3.5e6 && long < 5.5e6);
+      Alcotest.(check bool) "locals take the rest" true (local_a > 3.5e6 && local_b > 3.5e6)
+  | _ -> Alcotest.fail "expected three flows"
+
+let test_access_segment_is_the_binding_one () =
+  (* §2.2's point quantified: a path whose first (access) segment is much
+     slower than its core segments bottlenecks at the access link; core
+     segments stay underused even with a competing core flow. *)
+  let sim = Sim.create () in
+  let pl =
+    Net.Parking_lot.create sim ~rates_bps:[| 10e6; 100e6; 100e6 |] ~delay_s:0.005 ()
+  in
+  let routes = function 0 -> (0, 2) | _ -> (1, 2) in
+  let topo = Net.Parking_lot.as_topology pl ~flow_routes:routes in
+  let user = Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Cubic.create ()) () in
+  let core = Tcp.Connection.establish topo ~flow:1 ~cca:(Ccsim_cca.Cubic.create ()) () in
+  Tcp.Sender.set_unlimited user.sender;
+  Tcp.Sender.set_unlimited core.sender;
+  Sim.run ~until:30.0 sim;
+  let rate conn =
+    float_of_int (Tcp.Receiver.bytes_received conn.Tcp.Connection.receiver) *. 8.0 /. 30.0
+  in
+  (* The user flow is pinned by its access segment despite the core flow. *)
+  Alcotest.(check bool) "user flow at access capacity" true
+    (rate user > 8e6 && rate user < 10e6);
+  Alcotest.(check bool) "core flow barely affected" true (rate core > 70e6)
+
+let suite =
+  [
+    ("single segment delivery", `Quick, test_single_segment_delivery);
+    ("multi-segment routing", `Quick, test_multi_segment_routing);
+    ("attach validation", `Quick, test_attach_validation);
+    ("long flow pays the multi-hop penalty (FIFO)", `Quick, test_long_flow_multi_hop_penalty);
+    ("per-segment FQ gives the long flow half", `Quick, test_fq_gives_long_flow_half);
+    ("access segment binds on short fat-core paths", `Quick, test_access_segment_is_the_binding_one);
+  ]

@@ -1,0 +1,322 @@
+(* Tests for the TCP layer: RTT estimation, sender/receiver behaviour on
+   real simulated paths, loss recovery, flow control, TCPInfo accounting. *)
+
+module Sim = Ccsim_engine.Sim
+module Net = Ccsim_net
+module Tcp = Ccsim_tcp
+module U = Ccsim_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rtt_estimator ------------------------------------------------------------ *)
+
+let test_rtt_first_sample () =
+  let e = Tcp.Rtt_estimator.create () in
+  Tcp.Rtt_estimator.observe e 0.1;
+  check_float "srtt is the sample" 0.1 (Tcp.Rtt_estimator.srtt e);
+  check_float "rttvar is half" 0.05 (Tcp.Rtt_estimator.rttvar e);
+  check_float "min" 0.1 (Tcp.Rtt_estimator.min_rtt e)
+
+let test_rtt_smoothing () =
+  let e = Tcp.Rtt_estimator.create () in
+  Tcp.Rtt_estimator.observe e 0.1;
+  Tcp.Rtt_estimator.observe e 0.2;
+  (* srtt = 7/8*0.1 + 1/8*0.2 *)
+  check_float "smoothed" 0.1125 (Tcp.Rtt_estimator.srtt e);
+  check_float "min keeps smallest" 0.1 (Tcp.Rtt_estimator.min_rtt e)
+
+let test_rtt_rto_floor_and_backoff () =
+  let e = Tcp.Rtt_estimator.create ~min_rto:0.2 () in
+  Tcp.Rtt_estimator.observe e 0.01;
+  check_float "rto floored" 0.2 (Tcp.Rtt_estimator.rto e);
+  Tcp.Rtt_estimator.backoff e;
+  check_float "doubled" 0.4 (Tcp.Rtt_estimator.rto e);
+  Tcp.Rtt_estimator.backoff e;
+  check_float "doubled again" 0.8 (Tcp.Rtt_estimator.rto e);
+  Tcp.Rtt_estimator.observe e 0.01;
+  check_float "sample resets backoff" 0.2 (Tcp.Rtt_estimator.rto e)
+
+let test_rtt_initial_rto () =
+  let e = Tcp.Rtt_estimator.create () in
+  check_float "1s before samples" 1.0 (Tcp.Rtt_estimator.rto e)
+
+let test_rtt_rejects_nonpositive () =
+  let e = Tcp.Rtt_estimator.create () in
+  Alcotest.check_raises "bad sample"
+    (Invalid_argument "Rtt_estimator.observe: RTT must be positive") (fun () ->
+      Tcp.Rtt_estimator.observe e 0.0)
+
+(* --- connection over an ideal path --------------------------------------------- *)
+
+let make_topo ?(rate = 10e6) ?(delay = 0.01) ?qdisc ?loss_every sim =
+  let topo = Net.Topology.dumbbell sim ~rate_bps:rate ~delay_s:delay ?qdisc () in
+  match loss_every with
+  | None -> topo
+  | Some n ->
+      (* Wrap the forward entry to drop every n-th data packet once. *)
+      let count = ref 0 in
+      let orig = topo.fwd_entry in
+      let entry ~flow pkt =
+        incr count;
+        if !count mod n = 0 && Net.Packet.is_data pkt && not pkt.Net.Packet.retx then ()
+        else (orig ~flow) pkt
+      in
+      { topo with fwd_entry = entry }
+
+let test_transfer_completes () =
+  let sim = Sim.create () in
+  let topo = make_topo sim in
+  let completed = ref None in
+  let conn =
+    Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Reno.create ())
+      ~on_complete:(fun _ -> completed := Some (Sim.now sim))
+      ()
+  in
+  (* Small enough that the slow-start burst fits in the default buffer:
+     nothing on the path ever drops. *)
+  Tcp.Sender.write conn.sender 150_000;
+  Tcp.Sender.close conn.sender;
+  Sim.run ~until:30.0 sim;
+  Alcotest.(check bool) "completed" true (!completed <> None);
+  Alcotest.(check int) "receiver got everything" 150_000
+    (Tcp.Receiver.bytes_received conn.receiver);
+  Alcotest.(check int) "sender agrees" 150_000 (Tcp.Sender.bytes_acked conn.sender);
+  Alcotest.(check int) "no retransmits on a clean path" 0 (Tcp.Sender.segs_retrans conn.sender)
+
+let test_transfer_with_random_loss () =
+  let sim = Sim.create () in
+  let topo = make_topo ~loss_every:50 sim in
+  let completed = ref false in
+  let conn =
+    Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Reno.create ())
+      ~on_complete:(fun _ -> completed := true)
+      ()
+  in
+  Tcp.Sender.write conn.sender 500_000;
+  Tcp.Sender.close conn.sender;
+  Sim.run ~until:60.0 sim;
+  Alcotest.(check bool) "completed despite loss" true !completed;
+  Alcotest.(check int) "receiver got everything" 500_000
+    (Tcp.Receiver.bytes_received conn.receiver);
+  Alcotest.(check bool) "retransmissions happened" true (Tcp.Sender.segs_retrans conn.sender > 0)
+
+let test_rtt_measured_matches_path () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:100e6 ~delay:0.04 sim in
+  let conn = Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Reno.create ()) () in
+  Tcp.Sender.write conn.sender 100_000;
+  Tcp.Sender.close conn.sender;
+  Sim.run ~until:10.0 sim;
+  (* Base RTT = 2 * (0.04 + 0.001 edge) = 0.082 plus serialization. *)
+  let srtt = Tcp.Sender.srtt conn.sender in
+  Alcotest.(check bool) "srtt near base rtt" true (srtt > 0.08 && srtt < 0.1)
+
+let test_min_rtt_no_queueing_bias () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:5e6 ~delay:0.02 sim in
+  let conn = Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Reno.create ()) () in
+  Tcp.Sender.set_unlimited conn.sender;
+  Sim.run ~until:10.0 sim;
+  let min_rtt = Tcp.Sender.min_rtt conn.sender in
+  Alcotest.(check bool) "min rtt close to propagation" true
+    (min_rtt > 0.04 && min_rtt < 0.06)
+
+let test_goodput_matches_link () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:10e6 ~delay:0.01 sim in
+  let conn = Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Cubic.create ()) () in
+  Tcp.Sender.set_unlimited conn.sender;
+  Sim.run ~until:30.0 sim;
+  let goodput = Tcp.Connection.goodput_bps conn ~over:30.0 in
+  (* Payload share of the wire rate is mss/(mss+header) ~ 96.5%. *)
+  Alcotest.(check bool) "goodput near capacity" true (goodput > 8.5e6 && goodput < 10e6)
+
+let test_rwnd_limits_throughput () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:100e6 ~delay:0.02 sim in
+  (* Receiver drains at most 2 Mbit/s with a small buffer: flow must be
+     receiver-limited well below capacity. *)
+  let conn =
+    Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Cubic.create ())
+      ~rcv_buffer_bytes:20_000 ~consume_rate_bps:2e6 ()
+  in
+  Tcp.Sender.set_unlimited conn.sender;
+  Sim.run ~until:20.0 sim;
+  let goodput = Tcp.Connection.goodput_bps conn ~over:20.0 in
+  Alcotest.(check bool) "pinned near consume rate" true (goodput < 3e6);
+  let info = Tcp.Sender.info conn.sender in
+  Alcotest.(check bool) "rwnd-limited time dominates" true
+    (info.rwnd_limited_s > 0.5 *. info.elapsed_s)
+
+let test_app_limited_accounting () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:100e6 ~delay:0.01 sim in
+  let conn = Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Cubic.create ()) () in
+  (* Trickle 10 kB every 100 ms over a 100 Mbit/s path: app-limited. *)
+  Sim.every sim ~interval:0.1 ~stop_after:9.9 (fun () -> Tcp.Sender.write conn.sender 10_000);
+  Sim.run ~until:10.0 sim;
+  let info = Tcp.Sender.info conn.sender in
+  Alcotest.(check bool) "app-limited dominates" true
+    (info.app_limited_s > 0.8 *. info.elapsed_s);
+  Alcotest.(check bool) "cwnd-limited negligible" true
+    (info.cwnd_limited_s < 0.1 *. info.elapsed_s)
+
+let test_cwnd_limited_accounting () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:5e6 ~delay:0.05 sim in
+  let conn = Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Reno.create ()) () in
+  Tcp.Sender.set_unlimited conn.sender;
+  Sim.run ~until:10.0 sim;
+  let info = Tcp.Sender.info conn.sender in
+  Alcotest.(check bool) "bulk flow is mostly cwnd-limited or busy" true
+    (info.app_limited_s < 0.1 *. info.elapsed_s)
+
+let test_pacing_respected () =
+  let sim = Sim.create () in
+  let arrivals = ref [] in
+  let topo = make_topo ~rate:100e6 ~delay:0.001 sim in
+  Net.Dispatch.register topo.fwd_dispatch ~flow:5 (fun _ ->
+      arrivals := Sim.now sim :: !arrivals);
+  let cca = Ccsim_cca.Cca.fixed_rate ~rate_bps:1.2e6 (* ~10 ms per 1500B packet *) in
+  let sender = Tcp.Sender.create sim ~flow:5 ~cca ~path:(topo.fwd_entry ~flow:5) () in
+  Tcp.Sender.write sender 30_000;
+  Tcp.Sender.close sender;
+  Sim.run ~until:5.0 sim;
+  let times = Array.of_list (List.rev !arrivals) in
+  Alcotest.(check bool) "several packets" true (Array.length times > 10);
+  (* Check inter-arrival gaps reflect pacing, not a burst. *)
+  let gaps = Array.init (Array.length times - 1) (fun i -> times.(i + 1) -. times.(i)) in
+  Alcotest.(check bool) "paced gaps ~10ms" true (U.Stats.median gaps > 0.008)
+
+let test_teardown_unregisters () =
+  let sim = Sim.create () in
+  let topo = make_topo sim in
+  let conn = Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Reno.create ()) () in
+  Tcp.Connection.teardown topo conn;
+  (* A second connection can reuse the flow id. *)
+  let conn2 = Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Reno.create ()) () in
+  Tcp.Sender.write conn2.sender 10_000;
+  Tcp.Sender.close conn2.sender;
+  Sim.run ~until:5.0 sim;
+  Alcotest.(check int) "second connection works" 10_000
+    (Tcp.Receiver.bytes_received conn2.receiver)
+
+let test_write_validation () =
+  let sim = Sim.create () in
+  let topo = make_topo sim in
+  let conn = Tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Reno.create ()) () in
+  Alcotest.check_raises "zero write" (Invalid_argument "Sender.write: bytes must be positive")
+    (fun () -> Tcp.Sender.write conn.sender 0);
+  Tcp.Sender.close conn.sender;
+  Alcotest.check_raises "write after close" (Invalid_argument "Sender.write: sender is closed")
+    (fun () -> Tcp.Sender.write conn.sender 10)
+
+(* --- receiver-side specifics ------------------------------------------------------ *)
+
+let test_receiver_out_of_order_reassembly () =
+  let sim = Sim.create () in
+  let acks = ref [] in
+  let receiver =
+    Tcp.Receiver.create sim ~flow:0 ~ack_path:(fun pkt -> acks := pkt.Net.Packet.ack :: !acks) ()
+  in
+  let seg seq = Net.Packet.data ~flow:0 ~seq ~payload_bytes:1000 ~sent_at:0.0 () in
+  Tcp.Receiver.handle_data receiver (seg 0);
+  Tcp.Receiver.handle_data receiver (seg 2000);
+  (* hole at 1000 *)
+  Tcp.Receiver.handle_data receiver (seg 1000);
+  Alcotest.(check (list int)) "cumulative acks" [ 1000; 1000; 3000 ] (List.rev !acks);
+  Alcotest.(check int) "contiguous bytes" 3000 (Tcp.Receiver.bytes_received receiver)
+
+let test_receiver_sack_blocks () =
+  let sim = Sim.create () in
+  let sacks = ref [] in
+  let receiver =
+    Tcp.Receiver.create sim ~flow:0
+      ~ack_path:(fun pkt -> sacks := pkt.Net.Packet.sacks :: !sacks)
+      ()
+  in
+  let seg seq = Net.Packet.data ~flow:0 ~seq ~payload_bytes:1000 ~sent_at:0.0 () in
+  Tcp.Receiver.handle_data receiver (seg 2000);
+  (match !sacks with
+  | [ [ (2000, 3000) ] ] -> ()
+  | _ -> Alcotest.fail "expected a single SACK block [2000,3000)");
+  Tcp.Receiver.handle_data receiver (seg 4000);
+  (match !sacks with
+  | [ (2000, 3000); (4000, 5000) ] :: _ -> ()
+  | _ -> Alcotest.fail "expected two SACK blocks")
+
+let test_receiver_duplicate_data_idempotent () =
+  let sim = Sim.create () in
+  let receiver = Tcp.Receiver.create sim ~flow:0 ~ack_path:(fun _ -> ()) () in
+  let seg = Net.Packet.data ~flow:0 ~seq:0 ~payload_bytes:1000 ~sent_at:0.0 () in
+  Tcp.Receiver.handle_data receiver seg;
+  Tcp.Receiver.handle_data receiver seg;
+  Alcotest.(check int) "no double count" 1000 (Tcp.Receiver.bytes_received receiver)
+
+let test_receiver_window_shrinks_with_backlog () =
+  let sim = Sim.create () in
+  let receiver =
+    Tcp.Receiver.create sim ~flow:0 ~ack_path:(fun _ -> ()) ~buffer_bytes:10_000
+      ~consume_rate_bps:8_000.0 ()
+  in
+  let seg seq = Net.Packet.data ~flow:0 ~seq ~payload_bytes:1000 ~sent_at:0.0 () in
+  for i = 0 to 7 do
+    Tcp.Receiver.handle_data receiver (seg (i * 1000))
+  done;
+  (* 8 kB arrived instantly; app drained ~0: window should be ~2 kB. *)
+  Alcotest.(check bool) "window shrank" true (Tcp.Receiver.advertised_window receiver <= 2_100);
+  Sim.run ~until:5.0 sim;
+  ignore (Sim.now sim);
+  (* After 5 s the app drained 5 kB more. *)
+  Alcotest.(check bool) "window recovers as the app drains" true
+    (Tcp.Receiver.advertised_window receiver > 6_000)
+
+(* --- UDP ---------------------------------------------------------------------------- *)
+
+let test_udp_source_sink () =
+  let sim = Sim.create () in
+  let topo = make_topo sim in
+  let sink = Tcp.Udp.Sink.create sim () in
+  Net.Dispatch.register topo.fwd_dispatch ~flow:9 (Tcp.Udp.Sink.handle sink);
+  let source = Tcp.Udp.Source.create sim ~flow:9 ~path:(topo.fwd_entry ~flow:9) () in
+  Tcp.Udp.Source.send source ~bytes:5000;
+  Sim.run sim;
+  Alcotest.(check int) "bytes arrive" 5000 (Tcp.Udp.Sink.bytes_received sink);
+  Alcotest.(check int) "split into mss packets" 4 (Tcp.Udp.Sink.packets_received sink)
+
+let test_udp_jitter_zero_for_cbr_on_idle_link () =
+  let sim = Sim.create () in
+  let topo = make_topo ~rate:100e6 sim in
+  let sink = Tcp.Udp.Sink.create sim () in
+  Net.Dispatch.register topo.fwd_dispatch ~flow:9 (Tcp.Udp.Sink.handle sink);
+  let source = Tcp.Udp.Source.create sim ~flow:9 ~path:(topo.fwd_entry ~flow:9) () in
+  Sim.every sim ~interval:0.01 ~stop_after:1.0 (fun () ->
+      Tcp.Udp.Source.send source ~bytes:1000);
+  Sim.run sim;
+  Alcotest.(check bool) "near-zero jitter" true (Tcp.Udp.Sink.interarrival_jitter sink < 1e-4)
+
+let suite =
+  [
+    ("rtt: first sample", `Quick, test_rtt_first_sample);
+    ("rtt: smoothing", `Quick, test_rtt_smoothing);
+    ("rtt: rto floor and backoff", `Quick, test_rtt_rto_floor_and_backoff);
+    ("rtt: initial rto", `Quick, test_rtt_initial_rto);
+    ("rtt: rejects non-positive", `Quick, test_rtt_rejects_nonpositive);
+    ("tcp: clean transfer completes", `Quick, test_transfer_completes);
+    ("tcp: transfer completes under loss", `Quick, test_transfer_with_random_loss);
+    ("tcp: srtt matches path", `Quick, test_rtt_measured_matches_path);
+    ("tcp: min rtt near propagation", `Quick, test_min_rtt_no_queueing_bias);
+    ("tcp: goodput fills the link", `Quick, test_goodput_matches_link);
+    ("tcp: receiver window limits throughput", `Quick, test_rwnd_limits_throughput);
+    ("tcp: app-limited accounting", `Quick, test_app_limited_accounting);
+    ("tcp: cwnd-limited accounting", `Quick, test_cwnd_limited_accounting);
+    ("tcp: pacing respected", `Quick, test_pacing_respected);
+    ("tcp: teardown unregisters", `Quick, test_teardown_unregisters);
+    ("tcp: write validation", `Quick, test_write_validation);
+    ("receiver: out-of-order reassembly", `Quick, test_receiver_out_of_order_reassembly);
+    ("receiver: sack blocks", `Quick, test_receiver_sack_blocks);
+    ("receiver: duplicates idempotent", `Quick, test_receiver_duplicate_data_idempotent);
+    ("receiver: window tracks backlog", `Quick, test_receiver_window_shrinks_with_backlog);
+    ("udp: source to sink", `Quick, test_udp_source_sink);
+    ("udp: cbr jitter near zero", `Quick, test_udp_jitter_zero_for_cbr_on_idle_link);
+  ]

@@ -1,0 +1,481 @@
+(* Unit and property tests for ccsim_util. *)
+
+module U = Ccsim_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close msg tolerance expected actual = Alcotest.(check (float tolerance)) msg expected actual
+
+(* --- Units --------------------------------------------------------------- *)
+
+let test_units_conversions () =
+  check_float "bits of bytes" 8.0 (U.Units.bits_of_bytes 1);
+  Alcotest.(check int) "bytes of bits" 125 (U.Units.bytes_of_bits 1000.0);
+  check_float "mbps" 1e6 (U.Units.mbps 1.0);
+  check_float "kbps" 1e3 (U.Units.kbps 1.0);
+  check_float "gbps" 1e9 (U.Units.gbps 1.0);
+  check_float "to_mbps" 42.0 (U.Units.to_mbps 42e6);
+  check_float "ms" 0.005 (U.Units.ms 5.0);
+  check_float "us" 5e-6 (U.Units.us 5.0);
+  check_float "to_ms" 5.0 (U.Units.to_ms 0.005)
+
+let test_units_transmit_time () =
+  (* 1500 bytes at 12 Mbit/s = 1 ms. *)
+  check_float "serialization" 0.001
+    (U.Units.seconds_to_transmit ~size_bytes:1500 ~rate_bps:12e6);
+  Alcotest.check_raises "zero rate rejected"
+    (Invalid_argument "Units.seconds_to_transmit: rate must be positive") (fun () ->
+      ignore (U.Units.seconds_to_transmit ~size_bytes:1500 ~rate_bps:0.0))
+
+let test_units_bdp () =
+  Alcotest.(check int) "bdp bytes" 125_000 (U.Units.bdp_bytes ~rate_bps:10e6 ~rtt_s:0.1);
+  check_close "sub-packet bdp" 1e-6 0.5
+    (U.Units.bdp_packets ~rate_bps:80e3 ~rtt_s:0.1 ~mss:2000)
+
+(* --- Rng ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = U.Rng.create 1234 and b = U.Rng.create 1234 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (U.Rng.bits64 a) (U.Rng.bits64 b)
+  done
+
+let test_rng_split_independence () =
+  let parent = U.Rng.create 99 in
+  let child = U.Rng.split parent in
+  (* The child must not replay the parent's stream. *)
+  let p = U.Rng.bits64 parent and c = U.Rng.bits64 child in
+  Alcotest.(check bool) "split produced distinct stream" true (p <> c)
+
+let test_rng_float_range () =
+  let rng = U.Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = U.Rng.float rng 3.0 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 3.0)
+  done
+
+let test_rng_int_uniformity () =
+  let rng = U.Rng.create 6 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = U.Rng.int rng 10 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "roughly uniform" true (frac > 0.08 && frac < 0.12))
+    counts
+
+let test_rng_exponential_mean () =
+  let rng = U.Rng.create 7 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. U.Rng.exponential rng ~mean:2.5
+  done;
+  check_close "exponential mean" 0.1 2.5 (!sum /. float_of_int n)
+
+let test_rng_normal_moments () =
+  let rng = U.Rng.create 8 in
+  let n = 50_000 in
+  let samples = Array.init n (fun _ -> U.Rng.normal rng ~mean:10.0 ~stddev:3.0) in
+  check_close "normal mean" 0.1 10.0 (U.Stats.mean samples);
+  check_close "normal stddev" 0.1 3.0 (U.Stats.stddev samples)
+
+let test_rng_bounded_pareto_support () =
+  let rng = U.Rng.create 9 in
+  for _ = 1 to 5000 do
+    let x = U.Rng.bounded_pareto rng ~shape:1.2 ~scale:100.0 ~cap:10_000.0 in
+    Alcotest.(check bool) "within bounds" true (x >= 100.0 && x <= 10_000.0)
+  done
+
+let test_rng_poisson_mean () =
+  let rng = U.Rng.create 10 in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + U.Rng.poisson rng ~mean:4.0
+  done;
+  check_close "poisson mean" 0.1 4.0 (float_of_int !sum /. float_of_int n)
+
+let test_rng_zipf_rank1_most_common () =
+  let rng = U.Rng.create 11 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let r = U.Rng.zipf rng ~n:10 ~s:1.2 in
+    counts.(r - 1) <- counts.(r - 1) + 1
+  done;
+  Alcotest.(check bool) "rank 1 dominates" true (counts.(0) > counts.(1));
+  Alcotest.(check bool) "rank 2 beats rank 9" true (counts.(1) > counts.(8))
+
+let test_rng_shuffle_permutation () =
+  let rng = U.Rng.create 12 in
+  let a = Array.init 50 Fun.id in
+  U.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+(* --- Stats ----------------------------------------------------------------- *)
+
+let test_stats_basics () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "mean" 3.0 (U.Stats.mean xs);
+  check_float "variance" 2.5 (U.Stats.variance xs);
+  check_float "median" 3.0 (U.Stats.median xs);
+  check_float "min" 1.0 (U.Stats.minimum xs);
+  check_float "max" 5.0 (U.Stats.maximum xs)
+
+let test_stats_percentile_interpolation () =
+  let xs = [| 10.0; 20.0 |] in
+  check_float "p50 interpolates" 15.0 (U.Stats.percentile xs 50.0);
+  check_float "p0 is min" 10.0 (U.Stats.percentile xs 0.0);
+  check_float "p100 is max" 20.0 (U.Stats.percentile xs 100.0)
+
+let test_stats_empty_rejected () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty array") (fun () ->
+      ignore (U.Stats.mean [||]))
+
+let test_stats_online_matches_batch () =
+  let rng = U.Rng.create 20 in
+  let xs = Array.init 1000 (fun _ -> U.Rng.normal rng ~mean:5.0 ~stddev:2.0) in
+  let online = U.Stats.Online.create () in
+  Array.iter (U.Stats.Online.add online) xs;
+  check_close "online mean" 1e-9 (U.Stats.mean xs) (U.Stats.Online.mean online);
+  check_close "online variance" 1e-6 (U.Stats.variance xs) (U.Stats.Online.variance online);
+  check_float "online min" (U.Stats.minimum xs) (U.Stats.Online.min online);
+  check_float "online max" (U.Stats.maximum xs) (U.Stats.Online.max online)
+
+let test_stats_online_merge () =
+  let a = U.Stats.Online.create () and b = U.Stats.Online.create () in
+  let all = U.Stats.Online.create () in
+  let rng = U.Rng.create 21 in
+  for i = 1 to 500 do
+    let x = U.Rng.float rng 10.0 in
+    U.Stats.Online.add (if i mod 2 = 0 then a else b) x;
+    U.Stats.Online.add all x
+  done;
+  let merged = U.Stats.Online.merge a b in
+  check_close "merged mean" 1e-9 (U.Stats.Online.mean all) (U.Stats.Online.mean merged);
+  check_close "merged var" 1e-6 (U.Stats.Online.variance all) (U.Stats.Online.variance merged)
+
+(* --- Cdf -------------------------------------------------------------------- *)
+
+let test_cdf_eval () =
+  let cdf = U.Cdf.of_samples [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "below all" 0.0 (U.Cdf.eval cdf 0.5);
+  check_float "half" 0.5 (U.Cdf.eval cdf 2.0);
+  check_float "all" 1.0 (U.Cdf.eval cdf 4.0);
+  check_float "above all" 1.0 (U.Cdf.eval cdf 100.0)
+
+let test_cdf_quantile () =
+  let cdf = U.Cdf.of_samples [| 5.0; 1.0; 3.0 |] in
+  check_float "q=0 smallest" 1.0 (U.Cdf.quantile cdf 0.0);
+  check_float "q=1 largest" 5.0 (U.Cdf.quantile cdf 1.0);
+  check_float "q=0.5 middle" 3.0 (U.Cdf.quantile cdf 0.5)
+
+let test_cdf_points_monotone () =
+  let rng = U.Rng.create 22 in
+  let cdf = U.Cdf.of_samples (Array.init 100 (fun _ -> U.Rng.float rng 50.0)) in
+  let points = U.Cdf.points cdf in
+  let rec check = function
+    | (x1, f1) :: ((x2, f2) :: _ as rest) ->
+        Alcotest.(check bool) "x increasing" true (x1 < x2);
+        Alcotest.(check bool) "F increasing" true (f1 < f2);
+        check rest
+    | [ (_, f) ] -> check_float "last point reaches 1" 1.0 f
+    | [] -> ()
+  in
+  check points
+
+(* --- Timeseries --------------------------------------------------------------- *)
+
+let mk_series points =
+  let ts = U.Timeseries.create () in
+  List.iter (fun (time, value) -> U.Timeseries.add ts ~time ~value) points;
+  ts
+
+let test_timeseries_value_at () =
+  let ts = mk_series [ (0.0, 1.0); (1.0, 2.0); (2.0, 3.0) ] in
+  check_float "exact" 2.0 (U.Timeseries.value_at ts 1.0);
+  check_float "hold" 2.0 (U.Timeseries.value_at ts 1.9);
+  check_float "last" 3.0 (U.Timeseries.value_at ts 10.0)
+
+let test_timeseries_monotone_rejected () =
+  let ts = mk_series [ (1.0, 1.0) ] in
+  Alcotest.check_raises "backwards time"
+    (Invalid_argument "Timeseries.add: times must be non-decreasing") (fun () ->
+      U.Timeseries.add ts ~time:0.5 ~value:2.0)
+
+let test_timeseries_rate_of_cumulative () =
+  (* A counter rising 100 per second sampled at 0.5s -> rate 100. *)
+  let ts = mk_series (List.init 21 (fun i -> (0.5 *. float_of_int i, 50.0 *. float_of_int i))) in
+  let rate = U.Timeseries.rate_of_cumulative ts ~interval:1.0 in
+  Array.iter (fun v -> check_close "rate" 1e-6 100.0 v) (U.Timeseries.values rate)
+
+let test_timeseries_ewma_converges () =
+  let ts = mk_series (List.init 100 (fun i -> (float_of_int i, 10.0))) in
+  let smoothed = U.Timeseries.ewma ts ~alpha:0.3 in
+  match U.Timeseries.last smoothed with
+  | Some (_, v) -> check_close "ewma of constant" 1e-9 10.0 v
+  | None -> Alcotest.fail "empty ewma"
+
+let test_timeseries_between () =
+  let ts = mk_series [ (0.0, 1.0); (1.0, 2.0); (2.0, 3.0); (3.0, 4.0) ] in
+  let sub = U.Timeseries.between ts ~lo:1.0 ~hi:2.0 in
+  Alcotest.(check int) "two points" 2 (U.Timeseries.length sub)
+
+let test_timeseries_time_weighted_mean () =
+  (* 1.0 for one second then 3.0 for one second -> mean 2. *)
+  let ts = mk_series [ (0.0, 1.0); (1.0, 3.0) ] in
+  check_close "time-weighted" 1e-9 2.0 (U.Timeseries.time_weighted_mean ts ~until:2.0)
+
+(* --- Fft --------------------------------------------------------------------- *)
+
+let test_fft_roundtrip () =
+  let rng = U.Rng.create 30 in
+  let signal = Array.init 64 (fun _ -> Complex.{ re = U.Rng.float rng 2.0 -. 1.0; im = 0.0 }) in
+  let back = U.Fft.inverse (U.Fft.transform signal) in
+  Array.iteri
+    (fun i c ->
+      check_close "roundtrip re" 1e-9 signal.(i).Complex.re c.Complex.re;
+      check_close "roundtrip im" 1e-9 0.0 c.Complex.im)
+    back
+
+let test_fft_pure_tone () =
+  let n = 256 and sample_rate = 100.0 and freq = 12.5 in
+  let signal =
+    Array.init n (fun i ->
+        3.0 *. sin (2.0 *. Float.pi *. freq *. float_of_int i /. sample_rate))
+  in
+  let mag = U.Fft.magnitude_at signal ~sample_rate ~freq in
+  check_close "tone amplitude recovered" 0.05 3.0 mag;
+  let off = U.Fft.magnitude_at signal ~sample_rate ~freq:30.0 in
+  Alcotest.(check bool) "off-tone magnitude small" true (off < 0.1)
+
+let test_fft_parseval () =
+  let rng = U.Rng.create 31 in
+  let n = 128 in
+  let signal = Array.init n (fun _ -> U.Rng.float rng 2.0 -. 1.0) in
+  let spectrum = U.Fft.real_transform signal in
+  let time_energy = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 signal in
+  let freq_energy =
+    Array.fold_left (fun acc c -> acc +. (Complex.norm2 c)) 0.0 spectrum /. float_of_int n
+  in
+  check_close "parseval" 1e-6 time_energy freq_energy
+
+let test_fft_power_of_two () =
+  Alcotest.(check bool) "1 is power" true (U.Fft.is_power_of_two 1);
+  Alcotest.(check bool) "512 is power" true (U.Fft.is_power_of_two 512);
+  Alcotest.(check bool) "100 is not" false (U.Fft.is_power_of_two 100);
+  Alcotest.(check int) "next pow2" 128 (U.Fft.next_power_of_two 65)
+
+let test_fft_mean_removed () =
+  let signal = [| 5.0; 7.0; 9.0; 7.0 |] in
+  let centered = U.Fft.mean_removed signal in
+  check_close "zero mean" 1e-12 0.0 (U.Stats.mean centered)
+
+(* --- Fairness ----------------------------------------------------------------- *)
+
+let test_jain_extremes () =
+  check_float "all equal" 1.0 (U.Fairness.jain_index [| 5.0; 5.0; 5.0; 5.0 |]);
+  check_close "one hog" 1e-9 0.25 (U.Fairness.jain_index [| 8.0; 0.0; 0.0; 0.0 |]);
+  check_float "all zero treated as fair" 1.0 (U.Fairness.jain_index [| 0.0; 0.0 |])
+
+let test_max_min_basic () =
+  let alloc = U.Fairness.max_min_allocation ~capacity:10.0 ~demands:[| infinity; infinity |] in
+  check_close "even split a" 1e-9 5.0 alloc.(0);
+  check_close "even split b" 1e-9 5.0 alloc.(1)
+
+let test_max_min_demand_bound () =
+  let alloc =
+    U.Fairness.max_min_allocation ~capacity:10.0 ~demands:[| 2.0; infinity; infinity |]
+  in
+  check_close "small demand met" 1e-9 2.0 alloc.(0);
+  check_close "rest split" 1e-9 4.0 alloc.(1);
+  check_close "rest split 2" 1e-9 4.0 alloc.(2)
+
+let test_max_min_underload () =
+  let alloc = U.Fairness.max_min_allocation ~capacity:100.0 ~demands:[| 5.0; 10.0 |] in
+  check_close "demand met a" 1e-9 5.0 alloc.(0);
+  check_close "demand met b" 1e-9 10.0 alloc.(1)
+
+let test_max_min_weighted () =
+  let alloc =
+    U.Fairness.max_min_with_weights ~capacity:30.0 ~demands:[| infinity; infinity |]
+      ~weights:[| 1.0; 2.0 |]
+  in
+  check_close "weight 1" 1e-9 10.0 alloc.(0);
+  check_close "weight 2" 1e-9 20.0 alloc.(1)
+
+let test_harm () =
+  check_float "no harm" 0.0 (U.Fairness.harm ~solo:10.0 ~contended:10.0);
+  check_float "half harm" 0.5 (U.Fairness.harm ~solo:10.0 ~contended:5.0);
+  check_float "clamped" 1.0 (U.Fairness.harm ~solo:10.0 ~contended:(-1.0));
+  check_float "latency harm" 0.5 (U.Fairness.harm_lower_is_better ~solo:5.0 ~contended:10.0)
+
+let test_starvation_count () =
+  Alcotest.(check int) "two starved samples" 2
+    (U.Fairness.starvation_episodes
+       ~throughput:[| 0.0; 5.0; 0.4; 5.0 |]
+       ~fair_share:5.0 ~threshold:0.1)
+
+(* --- Histogram --------------------------------------------------------------- *)
+
+let test_histogram_binning () =
+  let h = U.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  U.Histogram.add_all h [| 0.5; 1.5; 1.6; 9.9; -1.0; 10.0 |];
+  Alcotest.(check int) "bin 0" 1 (U.Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1" 2 (U.Histogram.bin_count h 1);
+  Alcotest.(check int) "bin 9" 1 (U.Histogram.bin_count h 9);
+  Alcotest.(check int) "underflow" 1 (U.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (U.Histogram.overflow h);
+  Alcotest.(check int) "total" 6 (U.Histogram.count h);
+  Alcotest.(check int) "mode" 1 (U.Histogram.mode_bin h)
+
+let test_histogram_edges () =
+  let h = U.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  let lo, hi = U.Histogram.bin_edges h 2 in
+  check_float "edge lo" 4.0 lo;
+  check_float "edge hi" 6.0 hi
+
+(* --- Ring buffer --------------------------------------------------------------- *)
+
+let test_ring_buffer_wraparound () =
+  let rb = U.Ring_buffer.create ~capacity:3 in
+  List.iter (U.Ring_buffer.push rb) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  Alcotest.(check int) "length capped" 3 (U.Ring_buffer.length rb);
+  check_float "oldest" 3.0 (U.Ring_buffer.oldest rb);
+  check_float "newest" 5.0 (U.Ring_buffer.newest rb);
+  Alcotest.(check (array (float 1e-9))) "snapshot" [| 3.0; 4.0; 5.0 |] (U.Ring_buffer.to_array rb)
+
+let test_ring_buffer_stats () =
+  let rb = U.Ring_buffer.create ~capacity:4 in
+  List.iter (U.Ring_buffer.push rb) [ 4.0; 1.0; 3.0 ];
+  check_float "max" 4.0 (U.Ring_buffer.max_value rb);
+  check_float "min" 1.0 (U.Ring_buffer.min_value rb);
+  check_close "mean" 1e-9 (8.0 /. 3.0) (U.Ring_buffer.mean rb);
+  U.Ring_buffer.clear rb;
+  Alcotest.(check int) "cleared" 0 (U.Ring_buffer.length rb)
+
+(* --- Table ----------------------------------------------------------------------- *)
+
+let test_table_renders () =
+  let t = U.Table.create ~columns:[ ("name", U.Table.Left); ("value", U.Table.Right) ] in
+  U.Table.add_row t [ "alpha"; "1.00" ];
+  U.Table.add_row t [ "b"; "42.50" ];
+  let s = U.Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0
+    &&
+    let re_found = ref false in
+    String.split_on_char '\n' s
+    |> List.iter (fun line -> if String.length line > 0 && String.sub line 0 1 = "|" then re_found := true);
+    !re_found)
+
+let test_table_mismatch_rejected () =
+  let t = U.Table.create ~columns:[ ("a", U.Table.Left) ] in
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Table.add_row: cell count mismatch")
+    (fun () -> U.Table.add_row t [ "x"; "y" ])
+
+(* --- QCheck properties ------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"jain index in [1/n, 1]" ~count:500
+      (list_of_size (Gen.int_range 1 20) (float_range 0.0 1000.0))
+      (fun xs ->
+        let a = Array.of_list xs in
+        let j = U.Fairness.jain_index a in
+        j >= (1.0 /. float_of_int (Array.length a)) -. 1e-9 && j <= 1.0 +. 1e-9);
+    Test.make ~name:"max-min conserves capacity under backlog" ~count:300
+      (pair (float_range 1.0 1000.0) (int_range 1 10))
+      (fun (capacity, n) ->
+        let alloc =
+          U.Fairness.max_min_allocation ~capacity ~demands:(Array.make n infinity)
+        in
+        Float.abs (Array.fold_left ( +. ) 0.0 alloc -. capacity) < 1e-6);
+    Test.make ~name:"cdf eval is monotone" ~count:200
+      (list_of_size (Gen.int_range 1 50) (float_range (-100.0) 100.0))
+      (fun xs ->
+        let cdf = U.Cdf.of_samples (Array.of_list xs) in
+        let a = U.Cdf.eval cdf (-50.0) and b = U.Cdf.eval cdf 0.0 and c = U.Cdf.eval cdf 50.0 in
+        a <= b && b <= c);
+    Test.make ~name:"percentile bounded by min/max" ~count:300
+      (pair (list_of_size (Gen.int_range 1 50) (float_range (-10.0) 10.0)) (float_range 0.0 100.0))
+      (fun (xs, p) ->
+        let a = Array.of_list xs in
+        let v = U.Stats.percentile a p in
+        v >= U.Stats.minimum a -. 1e-9 && v <= U.Stats.maximum a +. 1e-9);
+    Test.make ~name:"ring buffer keeps the most recent values" ~count:200
+      (list_of_size (Gen.int_range 1 100) (float_range 0.0 1.0))
+      (fun xs ->
+        let rb = U.Ring_buffer.create ~capacity:10 in
+        List.iter (U.Ring_buffer.push rb) xs;
+        let expected =
+          let n = List.length xs in
+          let skip = max 0 (n - 10) in
+          List.filteri (fun i _ -> i >= skip) xs
+        in
+        U.Ring_buffer.to_array rb = Array.of_list expected);
+    Test.make ~name:"fft roundtrip preserves real signals" ~count:50
+      (list_of_size (Gen.return 32) (float_range (-5.0) 5.0))
+      (fun xs ->
+        let signal = Array.of_list xs in
+        let back = U.Fft.inverse (U.Fft.real_transform signal) in
+        Array.for_all2
+          (fun x c -> Float.abs (x -. c.Complex.re) < 1e-9)
+          signal back);
+  ]
+
+let suite =
+  [
+    ("units: conversions", `Quick, test_units_conversions);
+    ("units: serialization time", `Quick, test_units_transmit_time);
+    ("units: bdp", `Quick, test_units_bdp);
+    ("rng: determinism", `Quick, test_rng_determinism);
+    ("rng: split independence", `Quick, test_rng_split_independence);
+    ("rng: float range", `Quick, test_rng_float_range);
+    ("rng: int uniformity", `Quick, test_rng_int_uniformity);
+    ("rng: exponential mean", `Quick, test_rng_exponential_mean);
+    ("rng: normal moments", `Quick, test_rng_normal_moments);
+    ("rng: bounded pareto support", `Quick, test_rng_bounded_pareto_support);
+    ("rng: poisson mean", `Quick, test_rng_poisson_mean);
+    ("rng: zipf ranks", `Quick, test_rng_zipf_rank1_most_common);
+    ("rng: shuffle is a permutation", `Quick, test_rng_shuffle_permutation);
+    ("stats: basics", `Quick, test_stats_basics);
+    ("stats: percentile interpolation", `Quick, test_stats_percentile_interpolation);
+    ("stats: empty rejected", `Quick, test_stats_empty_rejected);
+    ("stats: online matches batch", `Quick, test_stats_online_matches_batch);
+    ("stats: online merge", `Quick, test_stats_online_merge);
+    ("cdf: eval", `Quick, test_cdf_eval);
+    ("cdf: quantile", `Quick, test_cdf_quantile);
+    ("cdf: points monotone", `Quick, test_cdf_points_monotone);
+    ("timeseries: value_at holds", `Quick, test_timeseries_value_at);
+    ("timeseries: monotone times enforced", `Quick, test_timeseries_monotone_rejected);
+    ("timeseries: rate of cumulative", `Quick, test_timeseries_rate_of_cumulative);
+    ("timeseries: ewma of constant", `Quick, test_timeseries_ewma_converges);
+    ("timeseries: between", `Quick, test_timeseries_between);
+    ("timeseries: time-weighted mean", `Quick, test_timeseries_time_weighted_mean);
+    ("fft: roundtrip", `Quick, test_fft_roundtrip);
+    ("fft: pure tone recovery", `Quick, test_fft_pure_tone);
+    ("fft: parseval", `Quick, test_fft_parseval);
+    ("fft: power-of-two helpers", `Quick, test_fft_power_of_two);
+    ("fft: mean removal", `Quick, test_fft_mean_removed);
+    ("fairness: jain extremes", `Quick, test_jain_extremes);
+    ("fairness: max-min even split", `Quick, test_max_min_basic);
+    ("fairness: max-min demand bound", `Quick, test_max_min_demand_bound);
+    ("fairness: max-min underload", `Quick, test_max_min_underload);
+    ("fairness: weighted max-min", `Quick, test_max_min_weighted);
+    ("fairness: harm", `Quick, test_harm);
+    ("fairness: starvation episodes", `Quick, test_starvation_count);
+    ("histogram: binning", `Quick, test_histogram_binning);
+    ("histogram: edges", `Quick, test_histogram_edges);
+    ("ring buffer: wraparound", `Quick, test_ring_buffer_wraparound);
+    ("ring buffer: stats and clear", `Quick, test_ring_buffer_stats);
+    ("table: renders", `Quick, test_table_renders);
+    ("table: arity check", `Quick, test_table_mismatch_rejected);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
