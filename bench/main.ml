@@ -1,13 +1,17 @@
-(* Benchmark harness: regenerates every figure/experiment from DESIGN.md's
-   index (printing the paper-style rows), then measures the cost of
-   regenerating each with Bechamel.
+(* Benchmark harness: regenerates every figure/experiment from
+   Ccsim_core.Experiments (DESIGN.md's index) through the Ccsim_runner
+   domain pool (printing the paper-style rows plus run telemetry), then
+   measures the cost of regenerating each with Bechamel.
 
-   The regeneration pass uses the experiments' default parameters; the
-   Bechamel pass uses shortened scenarios so each sample stays cheap --
-   the benches measure harness cost, not paper numbers. *)
+   The regeneration pass uses the experiments' default parameters and
+   honours `-j N` for the pool size; the Bechamel pass uses shortened
+   scenarios so each sample stays cheap -- the benches measure harness
+   cost, not paper numbers. *)
 
 open Bechamel
 open Toolkit
+module R = Ccsim_runner
+module E = Ccsim_core.Experiments
 
 let line title =
   print_newline ();
@@ -15,43 +19,23 @@ let line title =
   print_endline title;
   print_endline (String.make 78 '=')
 
-let regenerate_all () =
-  line "FIG1 -- contention-prerequisite taxonomy";
-  Ccsim_core.Fig1_taxonomy.(print (run ()));
-  line "FIG2 -- M-Lab NDT categorization + change-point analysis";
-  Ccsim_core.Fig2.(print (run ()));
-  line "FIG3 -- Nimbus elasticity vs five cross-traffic types";
-  Ccsim_core.Fig3.(print (run ()));
-  line "E1 -- FIFO vs DRR fair queueing across CCA pairings";
-  Ccsim_core.E1_fq.(print (run ()));
-  line "E2 -- shaping/policing pin the allocation";
-  Ccsim_core.E2_throttle.(print (run ()));
-  line "E3 -- short flows vs the initial window";
-  Ccsim_core.E3_short_flows.(print (run ()));
-  line "E4 -- app-limited flows get their demand";
-  Ccsim_core.E4_app_limited.(print (run ()));
-  line "E5 -- ABR video bounds its demand";
-  Ccsim_core.E5_video.(print (run ()));
-  line "E6 -- sub-packet BDP starvation";
-  Ccsim_core.E6_subpacket.(print (run ()));
-  line "E7 -- token-bucket bursts cause jitter; FQ caps but cannot remove it";
-  Ccsim_core.E7_jitter.(print (run ()));
-  line "X1 -- utilization/delay trade-off under capacity variability";
-  Ccsim_core.X1_cellular.(print (run ()));
-  line "X2 -- Ware et al. harm matrix";
-  Ccsim_core.X2_harm.(print (run ()));
-  line "X3 -- per-flow vs per-user FQ vs the RCS share model";
-  Ccsim_core.X3_rcs.(print (run ()));
-  line "X4 -- scavenger software updates do not contend";
-  Ccsim_core.X4_scavenger.(print (run ()));
-  line "A1 -- ablation: Nimbus pulse amplitude";
-  Ccsim_core.A1_pulse_ablation.(print (run ()));
-  line "A2 -- ablation: change-point penalty";
-  Ccsim_core.A2_penalty_ablation.(print (run ()));
-  line "A3 -- ablation: DRR quantum";
-  Ccsim_core.A3_quantum_ablation.(print (run ()));
-  line "A4 -- ablation: buffer depth vs BBR/Reno share";
-  Ccsim_core.A4_buffer_ablation.(print (run ()))
+let regenerate_all ~jobs () =
+  let job_of (e : E.t) =
+    let params = E.effective_params e ~seed:42 () in
+    R.Job.make ~name:e.id
+      ~digest:(R.Job.digest_of_params ~name:e.id params)
+      (fun () -> e.render ~seed:42 ())
+  in
+  let t0 = Unix.gettimeofday () in
+  let results = R.Pool.run (R.Pool.config ~jobs ()) (List.map job_of E.all) in
+  let total_wall_s = Unix.gettimeofday () -. t0 in
+  List.iteri
+    (fun i (e : E.t) ->
+      line (Printf.sprintf "%s -- %s" (String.uppercase_ascii e.id) e.title);
+      print_string results.(i).R.Job.output)
+    E.all;
+  line "runner telemetry";
+  print_string (R.Telemetry.summary (R.Telemetry.make ~pool_jobs:jobs ~total_wall_s results))
 
 (* --- Bechamel timing of scaled-down regenerations --------------------------- *)
 
@@ -121,5 +105,14 @@ let run_benchmarks () =
 let () =
   let only_bench = Array.exists (( = ) "--bench-only") Sys.argv in
   let only_rows = Array.exists (( = ) "--rows-only") Sys.argv in
-  if not only_bench then regenerate_all ();
+  let jobs =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then 1
+      else if Sys.argv.(i) = "-j" then
+        match int_of_string_opt Sys.argv.(i + 1) with Some n -> max 1 n | None -> 1
+      else find (i + 1)
+    in
+    find 1
+  in
+  if not only_bench then regenerate_all ~jobs ();
   if not only_rows then run_benchmarks ()

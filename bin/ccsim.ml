@@ -1,10 +1,14 @@
 (* ccsim — regenerate the paper's figures and experiments from the CLI.
 
-   Each subcommand runs one experiment from DESIGN.md's index and prints
-   the paper-style rows. `ccsim all` runs everything (the same set the
-   bench harness regenerates). *)
+   Subcommands are generated from Ccsim_core.Experiments (DESIGN.md's
+   index) and execute through Ccsim_runner: jobs on a domain pool
+   (-j N), a content-addressed result cache, and run telemetry. `ccsim
+   all` runs everything; `ccsim sweep` runs cross-products over
+   experiments x seeds x durations. *)
 
 open Cmdliner
+module R = Ccsim_runner
+module E = Ccsim_core.Experiments
 
 let seed_arg =
   let doc = "Deterministic seed for the experiment." in
@@ -14,160 +18,181 @@ let duration_arg default =
   let doc = "Simulated seconds per scenario." in
   Arg.(value & opt float default & info [ "duration" ] ~docv:"SECONDS" ~doc)
 
-let fig1_cmd =
-  let run duration seed = Ccsim_core.Fig1_taxonomy.(print (run ~duration ~seed ())) in
-  Cmd.v
-    (Cmd.info "fig1" ~doc:"Contention-prerequisite taxonomy behind Figure 1")
-    Term.(const run $ duration_arg 60.0 $ seed_arg)
+let flows_arg default =
+  let doc = "Synthetic population size (flows/candidates to generate)." in
+  Arg.(value & opt int default & info [ "flows" ] ~docv:"N" ~doc)
 
-let fig2_cmd =
-  let n_arg =
-    let doc = "Number of NDT flows to generate (the paper used 9,984)." in
-    Arg.(value & opt int 9984 & info [ "flows" ] ~docv:"N" ~doc)
+let jobs_arg =
+  let doc = "Worker domains; 1 runs serially (bit-identical to the pre-runner CLI)." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  let doc = "Always recompute; do not read or write the result cache." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let report_arg =
+  let doc = "Write the machine-readable JSON run report to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
+let job_of ?duration ?n ~seed (e : E.t) =
+  let params = E.effective_params e ?duration ?n ~seed () in
+  R.Job.make ~name:e.id
+    ~digest:(R.Job.digest_of_params ~name:e.id params)
+    (fun () -> e.render ?duration ?n ~seed ())
+
+(* Run jobs, print their blocks to stdout in submission order (blank
+   line between blocks, as `all` always did), telemetry to stderr so
+   stdout rows stay byte-identical across -j levels and cache states.
+   Returns the exit code: non-zero if any job failed. *)
+let run_and_report ~jobs ~no_cache ~report ~telemetry_to jobs_list =
+  let cache = if no_cache then None else Some (R.Cache.create ()) in
+  let config = R.Pool.config ~jobs ?cache () in
+  let t0 = Unix.gettimeofday () in
+  let results = R.Pool.run config jobs_list in
+  let total_wall_s = Unix.gettimeofday () -. t0 in
+  Array.iteri
+    (fun i (r : R.Job.result) ->
+      if i > 0 then print_newline ();
+      print_string r.output)
+    results;
+  flush stdout;
+  let tele = R.Telemetry.make ~pool_jobs:jobs ~total_wall_s results in
+  (match telemetry_to with
+  | Some oc ->
+      output_string oc (R.Telemetry.summary tele);
+      flush oc
+  | None -> ());
+  let report_path =
+    match report with
+    | Some p -> Some p
+    | None when not no_cache -> Some (Filename.concat (R.Cache.default_dir ()) "last_run.json")
+    | None -> None
   in
-  let run n seed = Ccsim_core.Fig2.(print (run ~n ~seed ())) in
-  Cmd.v
-    (Cmd.info "fig2" ~doc:"M-Lab NDT categorization + change-point analysis (Figure 2)")
-    Term.(const run $ n_arg $ seed_arg)
+  Option.iter (fun path -> R.Telemetry.write_json tele ~path) report_path;
+  if R.Telemetry.failures tele > 0 then 1 else 0
 
-let fig3_cmd =
-  let run duration seed = Ccsim_core.Fig3.(print (run ~duration ~seed ())) in
-  Cmd.v
-    (Cmd.info "fig3" ~doc:"Nimbus elasticity vs five cross-traffic types (Figure 3)")
-    Term.(const run $ duration_arg 45.0 $ seed_arg)
-
-let experiment name doc default_duration run_fn =
-  let run duration seed = run_fn ~duration ~seed in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ duration_arg default_duration $ seed_arg)
-
-let e1_cmd =
-  experiment "e1" "FIFO vs DRR fair queueing across CCA pairings" 60.0 (fun ~duration ~seed ->
-      Ccsim_core.E1_fq.(print (run ~duration ~seed ())))
-
-let e2_cmd =
-  experiment "e2" "Token-bucket shaping and policing pin the allocation" 30.0
-    (fun ~duration ~seed -> Ccsim_core.E2_throttle.(print (run ~duration ~seed ())))
-
-let e3_cmd =
-  experiment "e3" "Short flows fit in the initial window" 60.0 (fun ~duration ~seed ->
-      Ccsim_core.E3_short_flows.(print (run ~duration ~seed ())))
-
-let e4_cmd =
-  experiment "e4" "App-limited flows receive exactly their demand" 30.0 (fun ~duration ~seed ->
-      Ccsim_core.E4_app_limited.(print (run ~duration ~seed ())))
-
-let e5_cmd =
-  experiment "e5" "ABR video bounds its own demand" 60.0 (fun ~duration ~seed ->
-      Ccsim_core.E5_video.(print (run ~duration ~seed ())))
-
-let e6_cmd =
-  experiment "e6" "Sub-packet BDP starvation (Chen et al.)" 120.0 (fun ~duration ~seed ->
-      Ccsim_core.E6_subpacket.(print (run ~duration ~seed ())))
-
-let e7_cmd =
-  experiment "e7" "Token-bucket bursts cause jitter under fair queueing" 30.0
-    (fun ~duration ~seed -> Ccsim_core.E7_jitter.(print (run ~duration ~seed ())))
-
-let x1_cmd =
-  experiment "x1" "Utilization/delay trade-off on a wandering cellular-like link" 60.0
-    (fun ~duration ~seed -> Ccsim_core.X1_cellular.(print (run ~duration ~seed ())))
-
-let x2_cmd =
-  experiment "x2" "Ware et al. harm matrix across CCA pairings" 40.0 (fun ~duration ~seed ->
-      Ccsim_core.X2_harm.(print (run ~duration ~seed ())))
-
-let x3_cmd =
-  experiment "x3" "Per-flow vs per-user FQ vs the RCS share model" 40.0
-    (fun ~duration ~seed -> Ccsim_core.X3_rcs.(print (run ~duration ~seed ())))
-
-let x4_cmd =
-  experiment "x4" "Scavenger (LEDBAT) software updates do not contend" 90.0
-    (fun ~duration ~seed -> Ccsim_core.X4_scavenger.(print (run ~duration ~seed ())))
-
-let a1_cmd =
-  experiment "a1" "Ablation: Nimbus pulse amplitude vs separation" 45.0
-    (fun ~duration ~seed -> Ccsim_core.A1_pulse_ablation.(print (run ~duration ~seed ())))
-
-let a2_cmd =
-  let run seed = Ccsim_core.A2_penalty_ablation.(print (run ~seed ())) in
-  Cmd.v
-    (Cmd.info "a2" ~doc:"Ablation: change-point penalty vs detector accuracy")
-    Term.(const run $ seed_arg)
-
-let a3_cmd =
-  experiment "a3" "Ablation: DRR quantum vs isolation quality" 40.0 (fun ~duration ~seed ->
-      Ccsim_core.A3_quantum_ablation.(print (run ~duration ~seed ())))
-
-let a4_cmd =
-  experiment "a4" "Ablation: buffer depth vs BBR/Reno share" 60.0 (fun ~duration ~seed ->
-      Ccsim_core.A4_buffer_ablation.(print (run ~duration ~seed ())))
+let exp_cmd (e : E.t) =
+  let info = Cmd.info e.id ~doc:e.title in
+  match e.kind with
+  | E.Timed default ->
+      let run duration seed jobs =
+        exit
+          (run_and_report ~jobs ~no_cache:true ~report:None ~telemetry_to:None
+             [ job_of ~duration ~seed e ])
+      in
+      Cmd.v info Term.(const run $ duration_arg default $ seed_arg $ jobs_arg)
+  | E.Sized default ->
+      let run n seed jobs =
+        exit
+          (run_and_report ~jobs ~no_cache:true ~report:None ~telemetry_to:None
+             [ job_of ~n ~seed e ])
+      in
+      Cmd.v info Term.(const run $ flows_arg default $ seed_arg $ jobs_arg)
 
 let all_cmd =
-  let run seed =
-    Ccsim_core.Fig1_taxonomy.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.Fig2.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.Fig3.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.E1_fq.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.E2_throttle.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.E3_short_flows.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.E4_app_limited.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.E5_video.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.E6_subpacket.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.E7_jitter.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.X1_cellular.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.X2_harm.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.X3_rcs.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.X4_scavenger.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.A1_pulse_ablation.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.A2_penalty_ablation.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.A3_quantum_ablation.(print (run ~seed ()));
-    print_newline ();
-    Ccsim_core.A4_buffer_ablation.(print (run ~seed ()))
+  let run seed jobs no_cache report =
+    let jobs_list = List.map (job_of ~seed) E.all in
+    exit
+      (run_and_report ~jobs ~no_cache ~report ~telemetry_to:(Some stderr) jobs_list)
   in
   Cmd.v
-    (Cmd.info "all" ~doc:"Run every figure and experiment in DESIGN.md order")
-    Term.(const run $ seed_arg)
+    (Cmd.info "all"
+       ~doc:
+         "Run every figure and experiment in DESIGN.md order on a domain pool (-j), with \
+          result caching and run telemetry")
+    Term.(const run $ seed_arg $ jobs_arg $ no_cache_arg $ report_arg)
+
+let sweep_cmd =
+  let ids_arg =
+    let doc = "Experiments to sweep (default: all)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let seeds_arg =
+    let doc = "Comma-separated seeds axis." in
+    Arg.(value & opt (list int) [ 42 ] & info [ "seeds" ] ~docv:"SEEDS" ~doc)
+  in
+  let durations_arg =
+    let doc =
+      "Comma-separated durations axis (seconds). Applies to timed experiments; sized ones \
+       (fig2, a2) keep their population and run once per seed."
+    in
+    Arg.(value & opt (list float) [] & info [ "durations" ] ~docv:"SECONDS" ~doc)
+  in
+  let run ids seeds durations jobs no_cache report =
+    let ids = if ids = [] then List.map (fun (e : E.t) -> e.id) E.all else ids in
+    let experiments =
+      List.map
+        (fun id ->
+          match E.find id with
+          | Some e -> e
+          | None ->
+              Printf.eprintf "ccsim sweep: unknown experiment %S\n" id;
+              exit 124)
+        ids
+    in
+    let axes =
+      [ R.Sweep.axis "exp" ids; R.Sweep.ints "seed" seeds ]
+      @ (if durations = [] then [] else [ R.Sweep.floats "duration" durations ])
+    in
+    (* Sized experiments ignore the duration axis; dedupe by digest so
+       they run once per seed rather than once per (seed, duration). *)
+    let seen = Hashtbl.create 64 in
+    let jobs_list =
+      List.filter_map
+        (fun point ->
+          let id = Option.get (R.Sweep.get point "exp") in
+          let e = List.find (fun (e : E.t) -> e.id = id) experiments in
+          let seed = int_of_string (Option.get (R.Sweep.get point "seed")) in
+          let duration = Option.map float_of_string (R.Sweep.get point "duration") in
+          let params = E.effective_params e ?duration ~seed () in
+          let digest = R.Job.digest_of_params ~name:e.id params in
+          if Hashtbl.mem seen digest then None
+          else begin
+            Hashtbl.add seen digest ();
+            (* Name from the effective params, not the sweep point: sized
+               experiments ignore the duration axis. *)
+            let name =
+              String.concat " " (e.id :: List.map (fun (k, v) -> k ^ "=" ^ v) params)
+            in
+            Some (R.Job.make ~name ~digest (fun () -> e.render ?duration ~seed ()))
+          end)
+        (R.Sweep.points axes)
+    in
+    Printf.printf "sweep: %d job(s) on %d worker(s)\n\n" (List.length jobs_list) jobs;
+    let cache = if no_cache then None else Some (R.Cache.create ()) in
+    let config = R.Pool.config ~jobs ?cache () in
+    let t0 = Unix.gettimeofday () in
+    let results = R.Pool.run config jobs_list in
+    let total_wall_s = Unix.gettimeofday () -. t0 in
+    Array.iter
+      (fun (r : R.Job.result) ->
+        Printf.printf "== %s\n" r.name;
+        print_string r.output;
+        print_newline ())
+      results;
+    let tele = R.Telemetry.make ~pool_jobs:jobs ~total_wall_s results in
+    print_string (R.Telemetry.summary tele);
+    flush stdout;
+    let report_path =
+      match report with
+      | Some p -> Some p
+      | None when not no_cache ->
+          Some (Filename.concat (R.Cache.default_dir ()) "last_sweep.json")
+      | None -> None
+    in
+    Option.iter (fun path -> R.Telemetry.write_json tele ~path) report_path;
+    exit (if R.Telemetry.failures tele > 0 then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Cross-product sweep over experiments x seeds x durations on a domain pool")
+    Term.(
+      const run $ ids_arg $ seeds_arg $ durations_arg $ jobs_arg $ no_cache_arg $ report_arg)
 
 let main =
   let doc = "reproduce 'How I Learned to Stop Worrying About CCA Contention' (HotNets '23)" in
   Cmd.group
     (Cmd.info "ccsim" ~version:"1.0.0" ~doc)
-    [
-      fig1_cmd;
-      fig2_cmd;
-      fig3_cmd;
-      e1_cmd;
-      e2_cmd;
-      e3_cmd;
-      e4_cmd;
-      e5_cmd;
-      e6_cmd;
-      e7_cmd;
-      x1_cmd;
-      x2_cmd;
-      x3_cmd;
-      x4_cmd;
-      a1_cmd;
-      a2_cmd;
-      a3_cmd;
-      a4_cmd;
-      all_cmd;
-    ]
+    (List.map exp_cmd E.all @ [ all_cmd; sweep_cmd ])
 
 let () = exit (Cmd.eval main)

@@ -63,8 +63,9 @@ let run ?(duration = 45.0) ?seed () =
       })
     [ 0.0625; 0.125; 0.25; 0.375 ]
 
-let print rows =
-  print_endline "A1: Nimbus pulse amplitude vs elastic/inelastic separation";
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b "A1: Nimbus pulse amplitude vs elastic/inelastic separation";
   let table =
     U.Table.create
       ~columns:
@@ -89,4 +90,6 @@ let print rows =
           U.Table.cell_f r.probe_goodput_mbps;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

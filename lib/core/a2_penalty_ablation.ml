@@ -40,8 +40,9 @@ let run ?(n = 3000) ?(seed = 42) () =
       })
     [ 0.25; 0.5; 1.0; 2.0; 4.0; 8.0 ]
 
-let print rows =
-  print_endline "A2: PELT penalty scale vs Figure 2 detector accuracy (synthetic ground truth)";
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b "A2: PELT penalty scale vs Figure 2 detector accuracy (synthetic ground truth)";
   let table =
     U.Table.create
       ~columns:
@@ -64,4 +65,6 @@ let print rows =
           U.Table.cell_f r.mean_changes_per_candidate;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

@@ -45,8 +45,9 @@ let run ?(duration = 40.0) ?(seed = 42) () =
       })
     [ 0.25; 1.0; 4.0; 16.0 ]
 
-let print rows =
-  print_endline "A3: DRR quantum vs isolation quality (BBR vs Reno)";
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b "A3: DRR quantum vs isolation quality (BBR vs Reno)";
   let table =
     U.Table.create
       ~columns:
@@ -73,4 +74,6 @@ let print rows =
           U.Table.cell_f r.utilization;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

@@ -41,8 +41,9 @@ let run ?(duration = 60.0) ?(seed = 42) () =
       })
     [ 0.25; 0.5; 1.0; 2.0; 4.0; 8.0 ]
 
-let print rows =
-  print_endline "A4: buffer depth vs BBR/Reno share on a FIFO bottleneck (Ware et al. shape)";
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b "A4: buffer depth vs BBR/Reno share on a FIFO bottleneck (Ware et al. shape)";
   let table =
     U.Table.create
       ~columns:
@@ -65,4 +66,6 @@ let print rows =
           U.Table.cell_pct r.loss_rate;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

@@ -56,8 +56,9 @@ let run ?(duration = 60.0) ?(seed = 42) () =
         qdiscs)
     pairs
 
-let print rows =
-  print_endline "E1: CCA pairings under FIFO vs DRR fair queueing (48 Mbit/s, 50 ms RTT)";
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b "E1: CCA pairings under FIFO vs DRR fair queueing (48 Mbit/s, 50 ms RTT)";
   let table =
     U.Table.create
       ~columns:
@@ -82,4 +83,6 @@ let print rows =
           U.Table.cell_f r.utilization;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

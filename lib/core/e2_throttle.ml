@@ -42,8 +42,9 @@ let run ?(duration = 30.0) ?(seed = 42) () =
         managements)
     ccas
 
-let print rows =
-  print_endline
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b
     "E2: token-bucket shaping/policing to a 20 Mbit/s plan on a 100 Mbit/s path";
   let table =
     U.Table.create
@@ -67,4 +68,6 @@ let print rows =
           U.Table.cell_f r.mean_srtt_ms;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

@@ -39,8 +39,9 @@ let run ?(duration = 60.0) ?(seed = 42) () =
           })
     sizes
 
-let print rows =
-  print_endline "E3: short flows vs the initial congestion window (50 Mbit/s access link)";
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b "E3: short flows vs the initial congestion window (50 Mbit/s access link)";
   let table =
     U.Table.create
       ~columns:
@@ -65,4 +66,6 @@ let print rows =
           U.Table.cell_f ~decimals:3 r.fct_p99_s;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

@@ -42,8 +42,9 @@ let run ?(duration = 30.0) ?(seed = 42) () =
       })
     rates_mbps
 
-let print rows =
-  print_endline
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b
     "E4: app-limited allocation = demand until the demand sum crosses capacity (50 Mbit/s)";
   let table =
     U.Table.create
@@ -71,4 +72,6 @@ let print rows =
           U.Table.cell_f ~decimals:3 r.jain;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

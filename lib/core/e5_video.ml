@@ -49,8 +49,9 @@ let run ?(duration = 60.0) ?(seed = 42) () =
         [ false; true ])
     capacities
 
-let print rows =
-  print_endline "E5: ABR video bounds its own demand (ladder top 25 Mbit/s)";
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b "E5: ABR video bounds its own demand (ladder top 25 Mbit/s)";
   let table =
     U.Table.create
       ~columns:
@@ -77,4 +78,6 @@ let print rows =
           U.Table.cell_f r.utilization;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

@@ -86,8 +86,9 @@ let run ?(duration = 120.0) ?(seed = 42) () =
         qdiscs)
     [ 2; 4; 8 ]
 
-let print rows =
-  print_endline
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b
     "E6: sub-packet BDP regime (400 kbit/s, 80 ms RTT; BDP < 3 packets total)";
   let table =
     U.Table.create
@@ -115,4 +116,6 @@ let print rows =
           U.Table.cell_f ~decimals:3 r.max_flow_mbps;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

@@ -22,4 +22,8 @@ type row = {
 }
 
 val run : ?duration:float -> ?seed:int -> unit -> row list
+val render : row list -> string
+(** Paper-style report rows rendered to a string (what {!print}
+    writes to stdout); the runner caches and reorders these. *)
+
 val print : row list -> unit

@@ -60,8 +60,9 @@ let run ?(duration = 30.0) ?(seed = 42) () =
         bursts)
     qdiscs
 
-let print rows =
-  print_endline
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b
     "E7: token-bucket bursts inflate a CBR flow's jitter; FQ caps but cannot remove it (20 Mbit/s)";
   let table =
     U.Table.create
@@ -85,4 +86,6 @@ let print rows =
           U.Table.cell_f r.cross_goodput_mbps;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

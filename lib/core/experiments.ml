@@ -1,0 +1,64 @@
+type kind =
+  | Timed of float
+  | Sized of int
+
+type t = {
+  id : string;
+  title : string;
+  kind : kind;
+  render : ?duration:float -> ?n:int -> seed:int -> unit -> string;
+}
+
+let timed id title default render = { id; title; kind = Timed default; render }
+let sized id title default render = { id; title; kind = Sized default; render }
+
+let all =
+  [
+    timed "fig1" "Contention-prerequisite taxonomy behind Figure 1" 60.0
+      (fun ?duration ?n:_ ~seed () -> Fig1_taxonomy.(render (run ?duration ~seed ())));
+    sized "fig2" "M-Lab NDT categorization + change-point analysis (Figure 2)" 9984
+      (fun ?duration:_ ?n ~seed () -> Fig2.(render (run ?n ~seed ())));
+    timed "fig3" "Nimbus elasticity vs five cross-traffic types (Figure 3)" 45.0
+      (fun ?duration ?n:_ ~seed () -> Fig3.(render (run ?duration ~seed ())));
+    timed "e1" "FIFO vs DRR fair queueing across CCA pairings" 60.0
+      (fun ?duration ?n:_ ~seed () -> E1_fq.(render (run ?duration ~seed ())));
+    timed "e2" "Token-bucket shaping and policing pin the allocation" 30.0
+      (fun ?duration ?n:_ ~seed () -> E2_throttle.(render (run ?duration ~seed ())));
+    timed "e3" "Short flows fit in the initial window" 60.0
+      (fun ?duration ?n:_ ~seed () -> E3_short_flows.(render (run ?duration ~seed ())));
+    timed "e4" "App-limited flows receive exactly their demand" 30.0
+      (fun ?duration ?n:_ ~seed () -> E4_app_limited.(render (run ?duration ~seed ())));
+    timed "e5" "ABR video bounds its own demand" 60.0
+      (fun ?duration ?n:_ ~seed () -> E5_video.(render (run ?duration ~seed ())));
+    timed "e6" "Sub-packet BDP starvation (Chen et al.)" 120.0
+      (fun ?duration ?n:_ ~seed () -> E6_subpacket.(render (run ?duration ~seed ())));
+    timed "e7" "Token-bucket bursts cause jitter under fair queueing" 30.0
+      (fun ?duration ?n:_ ~seed () -> E7_jitter.(render (run ?duration ~seed ())));
+    timed "x1" "Utilization/delay trade-off on a wandering cellular-like link" 60.0
+      (fun ?duration ?n:_ ~seed () -> X1_cellular.(render (run ?duration ~seed ())));
+    timed "x2" "Ware et al. harm matrix across CCA pairings" 40.0
+      (fun ?duration ?n:_ ~seed () -> X2_harm.(render (run ?duration ~seed ())));
+    timed "x3" "Per-flow vs per-user FQ vs the RCS share model" 40.0
+      (fun ?duration ?n:_ ~seed () -> X3_rcs.(render (run ?duration ~seed ())));
+    timed "x4" "Scavenger (LEDBAT) software updates do not contend" 90.0
+      (fun ?duration ?n:_ ~seed () -> X4_scavenger.(render (run ?duration ~seed ())));
+    timed "a1" "Ablation: Nimbus pulse amplitude vs separation" 45.0
+      (fun ?duration ?n:_ ~seed () -> A1_pulse_ablation.(render (run ?duration ~seed ())));
+    sized "a2" "Ablation: change-point penalty vs detector accuracy" 3000
+      (fun ?duration:_ ?n ~seed () -> A2_penalty_ablation.(render (run ?n ~seed ())));
+    timed "a3" "Ablation: DRR quantum vs isolation quality" 40.0
+      (fun ?duration ?n:_ ~seed () -> A3_quantum_ablation.(render (run ?duration ~seed ())));
+    timed "a4" "Ablation: buffer depth vs BBR/Reno share" 60.0
+      (fun ?duration ?n:_ ~seed () -> A4_buffer_ablation.(render (run ?duration ~seed ())));
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let effective_params e ?duration ?n ~seed () =
+  let main =
+    match e.kind with
+    | Timed default ->
+        ("duration", Printf.sprintf "%g" (Option.value duration ~default))
+    | Sized default -> ("n", string_of_int (Option.value n ~default))
+  in
+  [ main; ("seed", string_of_int seed) ]

@@ -1,0 +1,35 @@
+(** Registry of every figure, experiment, and ablation in DESIGN.md
+    order.
+
+    Each entry packages the experiment's identifier, its one-line title,
+    its default parameterization, and a closure running the experiment
+    and rendering its paper-style rows to a string. The CLI, the bench
+    harness, and the runner subsystem all enumerate experiments through
+    this table instead of hard-coding the eighteen modules. *)
+
+type kind =
+  | Timed of float  (** default simulated seconds per scenario *)
+  | Sized of int  (** default synthetic population size (fig2, a2) *)
+
+type t = {
+  id : string;  (** CLI subcommand name, e.g. ["fig1"] *)
+  title : string;  (** one-line description (CLI doc string) *)
+  kind : kind;
+  render : ?duration:float -> ?n:int -> seed:int -> unit -> string;
+      (** Run the experiment and render its report. [Timed] experiments
+          read [duration] and ignore [n]; [Sized] ones the reverse.
+          Omitted parameters fall back to the experiment's defaults. *)
+}
+
+val all : t list
+(** Every experiment, in DESIGN.md order (figures, e-series, x-series,
+    ablations). *)
+
+val find : string -> t option
+(** Look up an experiment by [id]. *)
+
+val effective_params : t -> ?duration:float -> ?n:int -> seed:int -> unit -> (string * string) list
+(** Canonical [(key, value)] parameters for a run — the actually
+    effective duration/size (defaults applied) plus the seed. Runner job
+    digests are derived from these, so a parameter change invalidates
+    the cached result. *)

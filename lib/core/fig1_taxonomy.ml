@@ -85,8 +85,9 @@ let run ?(duration = 60.0) ?(seed = 42) () =
       })
     cases
 
-let print rows =
-  print_endline
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b
     "Figure 1 (backing data): CCA dynamics rule only when all three contention prerequisites hold";
   let table =
     U.Table.create
@@ -110,4 +111,6 @@ let print rows =
           (if r.cca_determined then "CCA dynamics" else "policy/demand");
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

@@ -12,9 +12,10 @@ let run ?(n = 9984) ?(seed = 42) () =
   let report = M.Mlab_analysis.analyze records in
   { report; accuracy = M.Mlab_analysis.score_against_ground_truth report }
 
-let print { report; accuracy } =
-  print_endline "Figure 2: M-Lab NDT categorization and throughput change analysis";
-  Printf.printf "(synthetic NDT population of %d flows; see DESIGN.md for the substitution)\n"
+let render { report; accuracy } =
+  Report.with_buf @@ fun b ->
+  Report.line b "Figure 2: M-Lab NDT categorization and throughput change analysis";
+  Printf.bprintf b "(synthetic NDT population of %d flows; see DESIGN.md for the substitution)\n"
     report.total;
   let table =
     U.Table.create
@@ -32,22 +33,24 @@ let print { report; accuracy } =
       string_of_int report.n_contention_consistent;
       pct report.n_contention_consistent;
     ];
-  U.Table.print table;
+  Report.table b table;
   (match report.change_count_cdf with
   | Some cdf ->
-      Printf.printf "(b) change points per candidate flow: p50=%.0f p90=%.0f max=%.0f\n"
+      Printf.bprintf b "(b) change points per candidate flow: p50=%.0f p90=%.0f max=%.0f\n"
         (U.Cdf.quantile cdf 0.5) (U.Cdf.quantile cdf 0.9) (U.Cdf.max_value cdf)
   | None -> ());
   (match report.shift_cdf with
   | Some cdf ->
-      Printf.printf
+      Printf.bprintf b
         "(c) largest level shift / mean throughput among candidates: p50=%.2f p90=%.2f\n"
         (U.Cdf.quantile cdf 0.5) (U.Cdf.quantile cdf 0.9)
   | None -> ());
   (match accuracy with
   | Some a ->
-      Printf.printf
+      Printf.bprintf b
         "detector vs ground truth (positives = genuinely contended): precision=%.2f recall=%.2f (tp=%d fp=%d fn=%d tn=%d)\n"
         a.precision a.recall a.true_positives a.false_positives a.false_negatives
         a.true_negatives
   | None -> ())
+
+let print output = print_string (render output)

@@ -84,7 +84,8 @@ let run ?(duration = 45.0) ?(seed = 42) () =
       })
     (cross_cases ~seed)
 
-let print rows =
+let render rows =
+  Report.with_buf @@ fun b ->
   let table =
     U.Table.create
       ~columns:
@@ -111,6 +112,8 @@ let print rows =
           U.Table.cell_f r.cross_goodput_mbps;
         ])
     rows;
-  print_endline "Figure 3: elasticity of a Nimbus probe vs five cross-traffic types";
-  Printf.printf "(48 Mbit/s bottleneck, 100 ms RTT; elasticity > 0.5 => contending)\n";
-  U.Table.print table
+  Report.line b "Figure 3: elasticity of a Nimbus probe vs five cross-traffic types";
+  Printf.bprintf b "(48 Mbit/s bottleneck, 100 ms RTT; elasticity > 0.5 => contending)\n";
+  Report.table b table
+
+let print rows = print_string (render rows)

@@ -1,0 +1,10 @@
+let with_buf f =
+  let b = Buffer.create 1024 in
+  f b;
+  Buffer.contents b
+
+let line b s =
+  Buffer.add_string b s;
+  Buffer.add_char b '\n'
+
+let table b t = Buffer.add_string b (Ccsim_util.Table.render t)

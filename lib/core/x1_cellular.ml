@@ -50,8 +50,9 @@ let run ?(duration = 60.0) ?(seed = 42) () =
       })
     ccas
 
-let print rows =
-  print_endline
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b
     "X1: utilization vs self-inflicted delay on a wandering-capacity (cellular-like) link";
   let table =
     U.Table.create
@@ -77,4 +78,6 @@ let print rows =
           string_of_int r.retransmits;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

@@ -69,8 +69,9 @@ let run ?(duration = 40.0) ?(seed = 42) () =
         ccas)
     ccas
 
-let print rows =
-  print_endline "X2: Ware et al. harm across CCA pairings (48 Mbit/s FIFO bottleneck)";
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b "X2: Ware et al. harm across CCA pairings (48 Mbit/s FIFO bottleneck)";
   let table =
     U.Table.create
       ~columns:
@@ -99,4 +100,6 @@ let print rows =
           U.Table.cell_pct r.latency_harm;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

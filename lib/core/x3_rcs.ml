@@ -80,8 +80,9 @@ let run ?(duration = 40.0) ?(seed = 42) () =
         conns)
     schemes
 
-let print rows =
-  print_endline
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b
     "X3: per-flow vs per-user fair queueing, vs the Recursive Congestion Shares model";
   let table =
     U.Table.create
@@ -105,4 +106,6 @@ let print rows =
           U.Table.cell_pct r.relative_error;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

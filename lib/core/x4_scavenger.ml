@@ -48,8 +48,9 @@ let run ?(duration = 90.0) ?(seed = 42) () =
       })
     cases
 
-let print rows =
-  print_endline
+let render rows =
+  Report.with_buf @@ fun b ->
+  Report.line b
     "X4: a software update over a scavenger CCA stops contending with video (30 Mbit/s access link)";
   let table =
     U.Table.create
@@ -75,4 +76,6 @@ let print rows =
           U.Table.cell_f r.utilization;
         ])
     rows;
-  U.Table.print table
+  Report.table b table
+
+let print rows = print_string (render rows)

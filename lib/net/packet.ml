@@ -18,11 +18,12 @@ type t = {
   mutable ecn_ce : bool;
 }
 
-let next_uid = ref 0
+(* Atomic so scenarios running on sibling domains (Ccsim_runner pools)
+   still get unique uids. uids never influence simulation behaviour —
+   they exist for tracing only. *)
+let next_uid = Atomic.make 0
 
-let fresh_uid () =
-  incr next_uid;
-  !next_uid
+let fresh_uid () = Atomic.fetch_and_add next_uid 1 + 1
 
 let data ~flow ~seq ~payload_bytes ?(header_bytes = Ccsim_util.Units.header_bytes) ?(retx = false)
     ?(prio = 0) ~sent_at () =

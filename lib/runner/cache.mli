@@ -1,0 +1,27 @@
+(** Content-addressed on-disk result cache.
+
+    Each entry is one job's rendered output stored under its digest, so
+    re-running a suite only recomputes jobs whose parameters (and hence
+    digests) changed. The directory defaults to [_ccsim_cache/] in the
+    working directory; set [CCSIM_CACHE_DIR] to relocate it. Stores are
+    atomic (temp file + rename), so concurrent pool workers and even
+    concurrent ccsim processes can share a cache safely. *)
+
+type t
+
+val default_dir : unit -> string
+(** [$CCSIM_CACHE_DIR] if set, else ["_ccsim_cache"]. *)
+
+val create : ?dir:string -> unit -> t
+(** Open (creating if needed) the cache directory. *)
+
+val dir : t -> string
+
+val find : t -> string -> string option
+(** Cached output for a digest, if present. *)
+
+val store : t -> digest:string -> string -> unit
+(** Persist a job's output under its digest. *)
+
+val clear : t -> unit
+(** Remove every entry (the directory itself stays). *)

@@ -1,0 +1,104 @@
+type config = {
+  jobs : int;
+  retries : int;
+  timeout_s : float option;
+  cache : Cache.t option;
+}
+
+let config ?(jobs = 1) ?(retries = 0) ?timeout_s ?cache () =
+  { jobs; retries; timeout_s; cache }
+
+let exec_one config ~queue_wait_s (job : Job.t) : Job.result =
+  let cached =
+    match config.cache with None -> None | Some c -> Cache.find c job.digest
+  in
+  match cached with
+  | Some output ->
+      {
+        Job.name = job.name;
+        digest = job.digest;
+        output;
+        ok = true;
+        error = None;
+        attempts = 0;
+        cache_hit = true;
+        queue_wait_s;
+        wall_s = 0.0;
+        timed_out = false;
+      }
+  | None ->
+      let started = Unix.gettimeofday () in
+      let rec attempt k =
+        match job.run () with
+        | output -> (Ok output, k)
+        | exception e ->
+            if k <= config.retries then attempt (k + 1)
+            else (Error (Printexc.to_string e), k)
+      in
+      let outcome, attempts = attempt 1 in
+      let wall_s = Unix.gettimeofday () -. started in
+      let timed_out =
+        match config.timeout_s with Some t -> wall_s > t | None -> false
+      in
+      let base ~output ~ok ~error =
+        {
+          Job.name = job.name;
+          digest = job.digest;
+          output;
+          ok;
+          error;
+          attempts;
+          cache_hit = false;
+          queue_wait_s;
+          wall_s;
+          timed_out;
+        }
+      in
+      (match (outcome, timed_out) with
+      | Ok output, false ->
+          (match config.cache with
+          | Some c -> Cache.store c ~digest:job.digest output
+          | None -> ());
+          base ~output ~ok:true ~error:None
+      | Ok _, true ->
+          let msg =
+            Printf.sprintf "exceeded %gs timeout (ran %.1fs)"
+              (Option.get config.timeout_s) wall_s
+          in
+          base ~output:(Job.error_row ~name:job.name msg) ~ok:false ~error:(Some msg)
+      | Error msg, _ ->
+          let msg =
+            if attempts > 1 then Printf.sprintf "%s (after %d attempts)" msg attempts
+            else msg
+          in
+          base ~output:(Job.error_row ~name:job.name msg) ~ok:false ~error:(Some msg))
+
+let run config jobs_list =
+  let jobs = Array.of_list jobs_list in
+  let n = Array.length jobs in
+  let results = Array.make n None in
+  let submitted = Unix.gettimeofday () in
+  let work i =
+    let queue_wait_s = Unix.gettimeofday () -. submitted in
+    results.(i) <- Some (exec_one config ~queue_wait_s jobs.(i))
+  in
+  if config.jobs <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      work i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          work i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (min config.jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains
+  end;
+  Array.map (function Some r -> r | None -> assert false) results

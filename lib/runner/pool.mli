@@ -1,0 +1,28 @@
+(** Domain pool: shard jobs across OCaml 5 domains.
+
+    [run] executes every job and returns results in submission order.
+    With [jobs = 1] everything runs inline on the calling domain, in
+    order — serial runs are therefore bit-identical to calling the
+    experiments directly. With [jobs > 1], that many worker domains
+    drain a shared queue (each scenario owns its seeded Rng, so results
+    stay row-for-row identical; only wall-clock changes).
+
+    Crash isolation: a job that raises is retried up to [retries] times,
+    then yields an error-row result instead of killing the pool.
+
+    Timeouts are cooperative: OCaml domains cannot be interrupted, so a
+    job that outlives [timeout_s] still runs to completion, but its
+    result is reported as failed (error row) and is kept out of the
+    cache. *)
+
+type config = {
+  jobs : int;  (** worker domains; <= 1 means inline serial *)
+  retries : int;  (** re-executions after a raise (default 0) *)
+  timeout_s : float option;
+  cache : Cache.t option;
+}
+
+val config : ?jobs:int -> ?retries:int -> ?timeout_s:float -> ?cache:Cache.t -> unit -> config
+
+val run : config -> Job.t list -> Job.result array
+(** Results in submission order. *)

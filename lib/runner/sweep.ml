@@ -1,0 +1,19 @@
+type axis = string * string list
+
+let axis name values =
+  if values = [] then invalid_arg (Printf.sprintf "Sweep.axis %s: no values" name);
+  (name, values)
+
+let ints name values = axis name (List.map string_of_int values)
+let floats name values = axis name (List.map (Printf.sprintf "%g") values)
+
+type point = (string * string) list
+
+let points axes =
+  List.fold_right
+    (fun (name, values) tails ->
+      List.concat_map (fun v -> List.map (fun tail -> (name, v) :: tail) tails) values)
+    axes [ [] ]
+
+let label point = String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) point)
+let get point name = List.assoc_opt name point

@@ -1,0 +1,93 @@
+module Table = Ccsim_util.Table
+
+type t = {
+  pool_jobs : int;
+  total_wall_s : float;
+  results : Job.result array;
+}
+
+let make ~pool_jobs ~total_wall_s results = { pool_jobs; total_wall_s; results }
+
+let count p t = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 t.results
+let cache_hits = count (fun (r : Job.result) -> r.cache_hit)
+let failures = count (fun (r : Job.result) -> not r.ok)
+
+let summary t =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("job", Table.Left);
+          ("status", Table.Left);
+          ("cache", Table.Left);
+          ("attempts", Table.Right);
+          ("queue s", Table.Right);
+          ("wall s", Table.Right);
+        ]
+  in
+  Array.iter
+    (fun (r : Job.result) ->
+      Table.add_row table
+        [
+          r.name;
+          (if r.ok then "ok" else if r.timed_out then "timeout" else "error");
+          (if r.cache_hit then "hit" else "miss");
+          string_of_int r.attempts;
+          Table.cell_f ~decimals:3 r.queue_wait_s;
+          Table.cell_f ~decimals:3 r.wall_s;
+        ])
+    t.results;
+  let busy = Array.fold_left (fun s (r : Job.result) -> s +. r.wall_s) 0.0 t.results in
+  Printf.sprintf
+    "run telemetry: %d jobs on %d worker(s), %.3fs wall (%.3fs cumulative job time), %d cache hit(s), %d failure(s)\n%s"
+    (Array.length t.results) t.pool_jobs t.total_wall_s busy (cache_hits t)
+    (failures t) (Table.render table)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf
+    "{\n  \"schema\": \"ccsim-runner/1\",\n  \"pool_jobs\": %d,\n  \"total_wall_s\": %.6f,\n  \"cache_hits\": %d,\n  \"failures\": %d,\n  \"jobs\": [\n"
+    t.pool_jobs t.total_wall_s (cache_hits t) (failures t);
+  Array.iteri
+    (fun i (r : Job.result) ->
+      Printf.bprintf buf
+        "    {\"name\": \"%s\", \"digest\": \"%s\", \"ok\": %b, \"cache_hit\": %b, \"attempts\": %d, \"queue_wait_s\": %.6f, \"wall_s\": %.6f, \"timed_out\": %b, \"error\": %s}%s\n"
+        (json_escape r.name) (json_escape r.digest) r.ok r.cache_hit r.attempts
+        r.queue_wait_s r.wall_s r.timed_out
+        (match r.error with
+        | None -> "null"
+        | Some e -> Printf.sprintf "\"%s\"" (json_escape e))
+        (if i = Array.length t.results - 1 then "" else ","))
+    t.results;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_json t ~path =
+  mkdir_p (Filename.dirname path);
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json t));
+  Sys.rename tmp path

@@ -1,0 +1,25 @@
+(** Run telemetry: per-job wall-clock, queue wait, cache hits, errors.
+
+    Collected over a pool run and emitted two ways: a human-readable
+    summary table, and a machine-readable JSON report for the perf
+    trajectory (BENCH files, CI artifacts). *)
+
+type t = {
+  pool_jobs : int;  (** worker-domain count the run used *)
+  total_wall_s : float;  (** whole-suite wall-clock *)
+  results : Job.result array;
+}
+
+val make : pool_jobs:int -> total_wall_s:float -> Job.result array -> t
+val cache_hits : t -> int
+val failures : t -> int
+
+val summary : t -> string
+(** Rendered per-job table plus a totals line. *)
+
+val to_json : t -> string
+(** Machine-readable report: schema ["ccsim-runner/1"], pool size, total
+    wall-clock, aggregate counters, and one record per job. *)
+
+val write_json : t -> path:string -> unit
+(** [to_json] written atomically; parent directories are created. *)

@@ -13,4 +13,5 @@ let () =
       ("models", Test_models.suite);
       ("features", Test_features.suite);
       ("parking lot", Test_parking_lot.suite);
+      ("runner", Test_runner.suite);
     ]
