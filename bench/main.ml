@@ -78,6 +78,20 @@ let bench_tests =
         (Staged.stage (fun () -> ignore (Ccsim_core.A3_quantum_ablation.run ~duration:15.0 ())));
       Test.make ~name:"a4_buffer_ablation"
         (Staged.stage (fun () -> ignore (Ccsim_core.A4_buffer_ablation.run ~duration:20.0 ())));
+      (* Observability overhead: the same experiment with a full
+         Ccsim_obs scope (metrics + flight recorder + profiler)
+         attached. Compare against e4_app_limited above. *)
+      Test.make ~name:"e4_app_limited_instrumented"
+        (Staged.stage (fun () ->
+             let scope =
+               Ccsim_obs.Scope.v
+                 ~metrics:(Ccsim_obs.Metrics.create ())
+                 ~recorder:(Ccsim_obs.Recorder.create ())
+                 ~profile:(Ccsim_obs.Profile.create ())
+                 ()
+             in
+             Ccsim_obs.Scope.with_scope scope (fun () ->
+                 ignore (Ccsim_core.E4_app_limited.run ~duration:8.0 ()))));
     ]
 
 let run_benchmarks () =

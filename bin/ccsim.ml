@@ -4,11 +4,19 @@
    index) and execute through Ccsim_runner: jobs on a domain pool
    (-j N), a content-addressed result cache, and run telemetry. `ccsim
    all` runs everything; `ccsim sweep` runs cross-products over
-   experiments x seeds x durations. *)
+   experiments x seeds x durations.
+
+   Observability (--metrics / --flight-rec / --profile) attaches a
+   per-job Ccsim_obs scope around each job thunk: every component the
+   job creates picks up the instruments from the ambient scope, and
+   the collected data is exported after the pool drains. Instrumented
+   runs always recompute (a cache hit would skip the thunk and leave
+   the instruments empty). *)
 
 open Cmdliner
 module R = Ccsim_runner
 module E = Ccsim_core.Experiments
+module Obs = Ccsim_obs
 
 let seed_arg =
   let doc = "Deterministic seed for the experiment." in
@@ -34,17 +42,121 @@ let report_arg =
   let doc = "Write the machine-readable JSON run report to $(docv)." in
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
 
-let job_of ?duration ?n ~seed (e : E.t) =
+(* --- observability flags --------------------------------------------------- *)
+
+let metrics_arg =
+  let doc =
+    "Collect the metrics registry (counters, gauges, histograms) of every job and write \
+     it to $(docv) as NDJSON, one instrument per line, each line tagged with its job."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let flight_arg =
+  let doc =
+    "Record a structured flight journal (packet events, qdisc drops, CCA decisions) per \
+     job and write it to $(docv); a .csv extension selects CSV, anything else NDJSON."
+  in
+  Arg.(value & opt (some string) None & info [ "flight-rec" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc =
+    "Profile the event loop: per-component execution time, events/sec, peak heap depth. \
+     Summaries go to stderr; the full profile is embedded in the JSON report."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+type obs_cfg = {
+  metrics_path : string option;
+  flight_path : string option;
+  profile : bool;
+}
+
+let obs_cfg_term =
+  let make metrics_path flight_path profile = { metrics_path; flight_path; profile } in
+  Term.(const make $ metrics_arg $ flight_arg $ profile_arg)
+
+let obs_enabled c = c.metrics_path <> None || c.flight_path <> None || c.profile
+
+(* Per-job instrument handles, harvested after the pool drains. Each job
+   gets its own registry/recorder/profile (registries are not
+   thread-safe; a job runs entirely on one pool domain). *)
+type obs_handle = {
+  job_name : string;
+  j_metrics : Obs.Metrics.t option;
+  j_recorder : Obs.Recorder.t option;
+  j_profile : Obs.Profile.t option;
+}
+
+let wrap_thunk cfg ~name thunk =
+  if not (obs_enabled cfg) then (thunk, None)
+  else begin
+    let metrics = if cfg.metrics_path <> None then Some (Obs.Metrics.create ()) else None in
+    let recorder = if cfg.flight_path <> None then Some (Obs.Recorder.create ()) else None in
+    let profile = if cfg.profile then Some (Obs.Profile.create ()) else None in
+    let scope = Obs.Scope.v ?metrics ?recorder ?profile () in
+    let thunk () = Obs.Scope.with_scope scope thunk in
+    (thunk, Some { job_name = name; j_metrics = metrics; j_recorder = recorder; j_profile = profile })
+  end
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc content)
+
+(* Export collected instruments; returns [(job, profile-json)] pairs for
+   the runner report. *)
+let export_obs cfg handles =
+  (match cfg.metrics_path with
+  | Some path ->
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun h ->
+          match h.j_metrics with
+          | Some m -> Buffer.add_string buf (Obs.Metrics.to_ndjson ~extra:[ ("job", h.job_name) ] m)
+          | None -> ())
+        handles;
+      write_file path (Buffer.contents buf)
+  | None -> ());
+  (match cfg.flight_path with
+  | Some path ->
+      let csv = Filename.check_suffix path ".csv" in
+      let buf = Buffer.create 4096 in
+      List.iteri
+        (fun i h ->
+          match h.j_recorder with
+          | Some r ->
+              let extra = [ ("job", h.job_name) ] in
+              Buffer.add_string buf
+                (if csv then Obs.Recorder.to_csv ~header:(i = 0) ~extra r
+                 else Obs.Recorder.to_ndjson ~extra r)
+          | None -> ())
+        handles;
+      write_file path (Buffer.contents buf)
+  | None -> ());
+  (if cfg.profile then
+     List.iter
+       (fun h ->
+         match h.j_profile with
+         | Some p -> Printf.eprintf "profile %s: %s\n%!" h.job_name (Obs.Profile.summary p)
+         | None -> ())
+       handles);
+  List.filter_map
+    (fun h -> Option.map (fun p -> (h.job_name, Obs.Profile.to_json p)) h.j_profile)
+    handles
+
+let job_of ?duration ?n ~seed ~obs (e : E.t) =
   let params = E.effective_params e ?duration ?n ~seed () in
-  R.Job.make ~name:e.id
-    ~digest:(R.Job.digest_of_params ~name:e.id params)
-    (fun () -> e.render ?duration ?n ~seed ())
+  let thunk, handle = wrap_thunk obs ~name:e.id (fun () -> e.render ?duration ?n ~seed ()) in
+  let job =
+    R.Job.make ~name:e.id ~digest:(R.Job.digest_of_params ~name:e.id params) thunk
+  in
+  (job, handle)
 
 (* Run jobs, print their blocks to stdout in submission order (blank
    line between blocks, as `all` always did), telemetry to stderr so
    stdout rows stay byte-identical across -j levels and cache states.
    Returns the exit code: non-zero if any job failed. *)
-let run_and_report ~jobs ~no_cache ~report ~telemetry_to jobs_list =
+let run_and_report ~jobs ~no_cache ~report ~telemetry_to ~obs ~handles jobs_list =
+  let no_cache = no_cache || obs_enabled obs in
   let cache = if no_cache then None else Some (R.Cache.create ()) in
   let config = R.Pool.config ~jobs ?cache () in
   let t0 = Unix.gettimeofday () in
@@ -62,45 +174,69 @@ let run_and_report ~jobs ~no_cache ~report ~telemetry_to jobs_list =
       output_string oc (R.Telemetry.summary tele);
       flush oc
   | None -> ());
+  let profiles = export_obs obs handles in
   let report_path =
     match report with
     | Some p -> Some p
     | None when not no_cache -> Some (Filename.concat (R.Cache.default_dir ()) "last_run.json")
     | None -> None
   in
-  Option.iter (fun path -> R.Telemetry.write_json tele ~path) report_path;
+  Option.iter (fun path -> R.Telemetry.write_json ~profiles tele ~path) report_path;
   if R.Telemetry.failures tele > 0 then 1 else 0
 
 let exp_cmd (e : E.t) =
   let info = Cmd.info e.id ~doc:e.title in
   match e.kind with
   | E.Timed default ->
-      let run duration seed jobs =
+      let run duration seed jobs report obs =
+        let job, handle = job_of ~duration ~seed ~obs e in
         exit
-          (run_and_report ~jobs ~no_cache:true ~report:None ~telemetry_to:None
-             [ job_of ~duration ~seed e ])
+          (run_and_report ~jobs ~no_cache:true ~report ~telemetry_to:None ~obs
+             ~handles:(Option.to_list handle) [ job ])
       in
-      Cmd.v info Term.(const run $ duration_arg default $ seed_arg $ jobs_arg)
+      Cmd.v info
+        Term.(const run $ duration_arg default $ seed_arg $ jobs_arg $ report_arg $ obs_cfg_term)
   | E.Sized default ->
-      let run n seed jobs =
+      let run n seed jobs report obs =
+        let job, handle = job_of ~n ~seed ~obs e in
         exit
-          (run_and_report ~jobs ~no_cache:true ~report:None ~telemetry_to:None
-             [ job_of ~n ~seed e ])
+          (run_and_report ~jobs ~no_cache:true ~report ~telemetry_to:None ~obs
+             ~handles:(Option.to_list handle) [ job ])
       in
-      Cmd.v info Term.(const run $ flows_arg default $ seed_arg $ jobs_arg)
+      Cmd.v info
+        Term.(const run $ flows_arg default $ seed_arg $ jobs_arg $ report_arg $ obs_cfg_term)
 
 let all_cmd =
-  let run seed jobs no_cache report =
-    let jobs_list = List.map (job_of ~seed) E.all in
+  let run seed jobs no_cache report obs =
+    let pairs = List.map (job_of ~seed ~obs) E.all in
+    let jobs_list = List.map fst pairs in
+    let handles = List.filter_map snd pairs in
     exit
-      (run_and_report ~jobs ~no_cache ~report ~telemetry_to:(Some stderr) jobs_list)
+      (run_and_report ~jobs ~no_cache ~report ~telemetry_to:(Some stderr) ~obs ~handles
+         jobs_list)
   in
   Cmd.v
     (Cmd.info "all"
        ~doc:
          "Run every figure and experiment in DESIGN.md order on a domain pool (-j), with \
           result caching and run telemetry")
-    Term.(const run $ seed_arg $ jobs_arg $ no_cache_arg $ report_arg)
+    Term.(const run $ seed_arg $ jobs_arg $ no_cache_arg $ report_arg $ obs_cfg_term)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : E.t) ->
+        let default =
+          match e.kind with
+          | E.Timed d -> Printf.sprintf "duration %gs" d
+          | E.Sized n -> Printf.sprintf "population %d" n
+        in
+        Printf.printf "%-6s %-14s %s\n" e.id ("[" ^ default ^ "]") e.title)
+      E.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List every experiment with its description and default parameters")
+    Term.(const run $ const ())
 
 let sweep_cmd =
   let ids_arg =
@@ -118,7 +254,8 @@ let sweep_cmd =
     in
     Arg.(value & opt (list float) [] & info [ "durations" ] ~docv:"SECONDS" ~doc)
   in
-  let run ids seeds durations jobs no_cache report =
+  let run ids seeds durations jobs no_cache report obs =
+    let no_cache = no_cache || obs_enabled obs in
     let ids = if ids = [] then List.map (fun (e : E.t) -> e.id) E.all else ids in
     let experiments =
       List.map
@@ -137,7 +274,7 @@ let sweep_cmd =
     (* Sized experiments ignore the duration axis; dedupe by digest so
        they run once per seed rather than once per (seed, duration). *)
     let seen = Hashtbl.create 64 in
-    let jobs_list =
+    let pairs =
       List.filter_map
         (fun point ->
           let id = Option.get (R.Sweep.get point "exp") in
@@ -154,10 +291,13 @@ let sweep_cmd =
             let name =
               String.concat " " (e.id :: List.map (fun (k, v) -> k ^ "=" ^ v) params)
             in
-            Some (R.Job.make ~name ~digest (fun () -> e.render ?duration ~seed ()))
+            let thunk, handle = wrap_thunk obs ~name (fun () -> e.render ?duration ~seed ()) in
+            Some (R.Job.make ~name ~digest thunk, handle)
           end)
         (R.Sweep.points axes)
     in
+    let jobs_list = List.map fst pairs in
+    let handles = List.filter_map snd pairs in
     Printf.printf "sweep: %d job(s) on %d worker(s)\n\n" (List.length jobs_list) jobs;
     let cache = if no_cache then None else Some (R.Cache.create ()) in
     let config = R.Pool.config ~jobs ?cache () in
@@ -173,6 +313,7 @@ let sweep_cmd =
     let tele = R.Telemetry.make ~pool_jobs:jobs ~total_wall_s results in
     print_string (R.Telemetry.summary tele);
     flush stdout;
+    let profiles = export_obs obs handles in
     let report_path =
       match report with
       | Some p -> Some p
@@ -180,19 +321,20 @@ let sweep_cmd =
           Some (Filename.concat (R.Cache.default_dir ()) "last_sweep.json")
       | None -> None
     in
-    Option.iter (fun path -> R.Telemetry.write_json tele ~path) report_path;
+    Option.iter (fun path -> R.Telemetry.write_json ~profiles tele ~path) report_path;
     exit (if R.Telemetry.failures tele > 0 then 1 else 0)
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Cross-product sweep over experiments x seeds x durations on a domain pool")
     Term.(
-      const run $ ids_arg $ seeds_arg $ durations_arg $ jobs_arg $ no_cache_arg $ report_arg)
+      const run $ ids_arg $ seeds_arg $ durations_arg $ jobs_arg $ no_cache_arg $ report_arg
+      $ obs_cfg_term)
 
 let main =
   let doc = "reproduce 'How I Learned to Stop Worrying About CCA Contention' (HotNets '23)" in
   Cmd.group
     (Cmd.info "ccsim" ~version:"1.0.0" ~doc)
-    (List.map exp_cmd E.all @ [ all_cmd; sweep_cmd ])
+    (List.map exp_cmd E.all @ [ all_cmd; sweep_cmd; list_cmd ])
 
 let () = exit (Cmd.eval main)

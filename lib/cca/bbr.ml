@@ -18,11 +18,39 @@ let startup_gain = 2.885
 let probe_rtt_duration = 0.2
 let min_rtt_window = 10.0
 
+let mode_label = function
+  | Startup -> "startup"
+  | Drain -> "drain"
+  | Probe_bw -> "probe_bw"
+  | Probe_rtt -> "probe_rtt"
+
 let create ?(mss = Ccsim_util.Units.mss) ?initial_cwnd () =
   let fmss = float_of_int mss in
   let initial = match initial_cwnd with Some c -> c | None -> Cca.initial_window ~mss in
   let cca = Cca.make ~name:"bbr" ~cwnd:initial () in
+  let scope = Ccsim_obs.Scope.ambient () in
+  let m_switches =
+    Option.map
+      (fun m ->
+        Ccsim_obs.Metrics.counter m ~labels:[ ("cca", "bbr") ] "cca_state_switches_total")
+      scope.Ccsim_obs.Scope.metrics
+  in
+  let obs_recorder = scope.Ccsim_obs.Scope.recorder in
   let mode = ref Startup in
+  let note_switch ~now next =
+    (match m_switches with Some c -> Ccsim_obs.Metrics.inc c | None -> ());
+    match obs_recorder with
+    | Some r ->
+        Ccsim_obs.Recorder.record r ~at:now ~severity:Ccsim_obs.Recorder.Info ~kind:"cca"
+          ~point:"bbr"
+          ~fields:[ ("from", mode_label !mode); ("to", mode_label next) ]
+          "mode_switch"
+    | None -> ()
+  in
+  let switch_mode ~now next =
+    note_switch ~now next;
+    mode := next
+  in
   let btlbw = Max_filter.create ~window:10 in
   let min_rtt = ref infinity in
   let min_rtt_stamp = ref 0.0 in
@@ -93,11 +121,11 @@ let create ?(mss = Ccsim_util.Units.mss) ?initial_cwnd () =
     | Startup ->
         if !round_started then begin
           check_full_pipe ();
-          if !full_bw_count >= 3 then mode := Drain
+          if !full_bw_count >= 3 then switch_mode ~now Drain
         end
     | Drain ->
         if float_of_int info.inflight <= bdp_bytes () then begin
-          mode := Probe_bw;
+          switch_mode ~now Probe_bw;
           cycle_stamp := now;
           cycle_index := 2 (* start in a neutral phase *)
         end
@@ -108,13 +136,13 @@ let create ?(mss = Ccsim_util.Units.mss) ?initial_cwnd () =
           cycle_index := (!cycle_index + 1) mod Array.length pacing_gain_cycle
         end;
         if now -. !min_rtt_stamp > min_rtt_window then begin
-          mode := Probe_rtt;
+          switch_mode ~now Probe_rtt;
           probe_rtt_done := now +. probe_rtt_duration
         end
     | Probe_rtt ->
         if now >= !probe_rtt_done then begin
           min_rtt_stamp := now;
-          mode := Probe_bw;
+          switch_mode ~now Probe_bw;
           cycle_stamp := now;
           cycle_index := 2
         end);
@@ -122,8 +150,9 @@ let create ?(mss = Ccsim_util.Units.mss) ?initial_cwnd () =
   in
   (* BBRv1 does not react to individual packet losses. *)
   let on_loss (_ : Cca.loss_info) = () in
-  let on_rto ~now:_ =
+  let on_rto ~now =
     (* Severe signal: restart the model conservatively. *)
+    if !mode <> Startup then note_switch ~now Startup;
     mode := Startup;
     full_bw := 0.0;
     full_bw_count := 0;

@@ -55,6 +55,35 @@ let create sim ?(mss = U.Units.mss) ?(pulse_freq_hz = 5.0) ?(pulse_amplitude = 0
   let elasticity_series = U.Timeseries.create () in
   let cross_series = U.Timeseries.create () in
   let latest_elasticity = ref 0.0 in
+  let scope = Ccsim_obs.Scope.ambient () in
+  let m_switches =
+    Option.map
+      (fun m ->
+        Ccsim_obs.Metrics.counter m ~labels:[ ("cca", "nimbus") ] "cca_state_switches_total")
+      scope.Ccsim_obs.Scope.metrics
+  in
+  let m_epochs =
+    Option.map
+      (fun m -> Ccsim_obs.Metrics.counter m "nimbus_estimation_epochs_total")
+      scope.Ccsim_obs.Scope.metrics
+  in
+  let obs_recorder = scope.Ccsim_obs.Scope.recorder in
+  let mode_name = function `Delay -> "delay" | `Competitive -> "competitive" in
+  let note_mode_switch ~now ~from_mode next =
+    (match m_switches with Some c -> Ccsim_obs.Metrics.inc c | None -> ());
+    match obs_recorder with
+    | Some r ->
+        Ccsim_obs.Recorder.record r ~at:now ~severity:Ccsim_obs.Recorder.Info ~kind:"cca"
+          ~point:"nimbus"
+          ~fields:
+            [
+              ("from", mode_name from_mode);
+              ("to", mode_name next);
+              ("elasticity", Printf.sprintf "%.4f" !latest_elasticity);
+            ]
+          "mode_switch"
+    | None -> ()
+  in
   (* --- control --- *)
   (* With mode switching disabled (the paper's measurement configuration)
      the probe runs TCP-competitive permanently: a delay-mode probe would
@@ -75,6 +104,7 @@ let create sim ?(mss = U.Units.mss) ?(pulse_freq_hz = 5.0) ?(pulse_amplitude = 0
      estimation error and queueing-delay drift. *)
   let compute_elasticity now =
     if U.Ring_buffer.is_full rout_ring && U.Ring_buffer.is_full dq_ring then begin
+      (match m_epochs with Some c -> Ccsim_obs.Metrics.inc c | None -> ());
       let rin_a = U.Ring_buffer.to_array rin_ring in
       let rout_a = U.Ring_buffer.to_array rout_ring in
       let dq_a = U.Ring_buffer.to_array dq_ring in
@@ -122,9 +152,12 @@ let create sim ?(mss = U.Units.mss) ?(pulse_freq_hz = 5.0) ?(pulse_amplitude = 0
         if mode_switching then
           match !mode with
           | `Delay when e > elastic_threshold ->
+              note_mode_switch ~now ~from_mode:`Delay `Competitive;
               mode := `Competitive;
               virtual_cwnd := Float.max (4.0 *. fmss) (!base_rate *. !srtt /. 8.0)
-          | `Competitive when e < elastic_threshold /. 2.0 -> mode := `Delay
+          | `Competitive when e < elastic_threshold /. 2.0 ->
+              note_mode_switch ~now ~from_mode:`Competitive `Delay;
+              mode := `Delay
           | `Delay | `Competitive -> ()
       end
     end
@@ -207,9 +240,13 @@ let create sim ?(mss = U.Units.mss) ?(pulse_freq_hz = 5.0) ?(pulse_amplitude = 0
       Float.max (4.0 *. fmss)
         (2.0 *. (!base_rate +. (pulse_amplitude *. pulse_scale)) *. rtt /. 8.0)
   in
-  Sim.every sim ~interval:dt ~start:(Sim.now sim +. dt) tick;
+  Sim.every sim ~interval:dt ~start:(Sim.now sim +. dt) (fun () ->
+      Sim.set_component sim "cca";
+      tick ());
   let estimation_interval = 0.5 in
-  Sim.every sim ~interval:estimation_interval (fun () -> compute_elasticity (Sim.now sim));
+  Sim.every sim ~interval:estimation_interval (fun () ->
+      Sim.set_component sim "cca";
+      compute_elasticity (Sim.now sim));
   let on_ack (info : Cca.ack_info) =
     if info.srtt > 0.0 then srtt := info.srtt;
     acked_bytes := !acked_bytes + info.newly_acked;

@@ -4,10 +4,23 @@ type t = {
   heap : (unit -> unit) Event_heap.t;
   mutable clock : float;
   mutable stopped : bool;
+  profile : Ccsim_obs.Profile.t option;
+  mutable component : string;
+      (* label the in-flight event callback charges its execution to;
+         reset to "other" before each event when profiling *)
 }
 
-let create () = { heap = Event_heap.create (); clock = 0.0; stopped = false }
+let create ?profile () =
+  let profile =
+    match profile with
+    | Some _ -> profile
+    | None -> (Ccsim_obs.Scope.ambient ()).Ccsim_obs.Scope.profile
+  in
+  { heap = Event_heap.create (); clock = 0.0; stopped = false; profile; component = "other" }
+
 let now t = t.clock
+let profile t = t.profile
+let set_component t name = t.component <- name
 
 let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Sim.schedule_at: time precedes the clock";
@@ -24,7 +37,15 @@ let step t =
   | None -> false
   | Some (time, f) ->
       t.clock <- time;
-      f ();
+      (match t.profile with
+      | None -> f ()
+      | Some p ->
+          Ccsim_obs.Profile.note_heap_depth p (Event_heap.size t.heap + 1);
+          t.component <- "other";
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Ccsim_obs.Profile.record p ~comp:t.component
+            ~seconds:(Unix.gettimeofday () -. t0));
       true
 
 let run ?until t =

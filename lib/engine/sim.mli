@@ -8,10 +8,26 @@ type t
 
 type event_id
 
-val create : unit -> t
+val create : ?profile:Ccsim_obs.Profile.t -> unit -> t
+(** With [profile] (explicit, or inherited from the ambient
+    {!Ccsim_obs.Scope} when omitted), every executed event is timed and
+    charged to the component label its callback declares via
+    {!set_component}, and the peak heap depth is tracked. Without one,
+    the event loop is unchanged — no timing, no allocation. *)
 
 val now : t -> float
 (** Current virtual time in seconds (0 at creation). *)
+
+val profile : t -> Ccsim_obs.Profile.t option
+(** The attached engine profile, if any. *)
+
+val set_component : t -> string -> unit
+(** Called (with a literal label) at the top of a component's event
+    callback to attribute the callback's execution time; a plain field
+    store, free when profiling is off. The last label set during an
+    event wins (a delivery that triggers synchronous TCP processing is
+    charged to ["tcp"], not ["link"]). Unattributed events are charged
+    to ["other"]. *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> event_id
 (** [schedule sim ~delay f] runs [f] at [now + delay]. [delay] must be

@@ -13,6 +13,8 @@ module Flow_monitor = struct
   }
 
   let create sim ~sender ?(interval = 0.1) () =
+    if interval <= 0.0 then
+      invalid_arg "Telemetry.Flow_monitor.create: interval must be positive";
     let t =
       {
         acked = U.Timeseries.create ();
@@ -25,6 +27,7 @@ module Flow_monitor = struct
       }
     in
     Sim.every sim ~interval (fun () ->
+        Sim.set_component sim "telemetry";
         let now = Sim.now sim in
         let info = Ccsim_tcp.Sender.info sender in
         t.snapshots <- info :: t.snapshots;
@@ -50,8 +53,11 @@ module Queue_monitor = struct
   type t = { backlog : U.Timeseries.t }
 
   let create sim ~qdisc ?(interval = 0.01) () =
+    if interval <= 0.0 then
+      invalid_arg "Telemetry.Queue_monitor.create: interval must be positive";
     let t = { backlog = U.Timeseries.create () } in
     Sim.every sim ~interval (fun () ->
+        Sim.set_component sim "telemetry";
         U.Timeseries.add t.backlog ~time:(Sim.now sim)
           ~value:(float_of_int (qdisc.Ccsim_net.Qdisc.backlog_bytes ())));
     t
@@ -70,9 +76,12 @@ module Link_monitor = struct
   type t = { utilization : U.Timeseries.t }
 
   let create sim ~link ?(interval = 0.1) () =
+    if interval <= 0.0 then
+      invalid_arg "Telemetry.Link_monitor.create: interval must be positive";
     let t = { utilization = U.Timeseries.create () } in
     let last = ref (Ccsim_net.Link.bytes_delivered link) in
     Sim.every sim ~interval (fun () ->
+        Sim.set_component sim "telemetry";
         let now = Sim.now sim in
         let delivered = Ccsim_net.Link.bytes_delivered link in
         let rate = Ccsim_net.Link.rate_bps link in

@@ -6,7 +6,8 @@ module Flow_monitor : sig
   val create :
     Ccsim_engine.Sim.t -> sender:Ccsim_tcp.Sender.t -> ?interval:float -> unit -> t
   (** Samples the sender every [interval] (default 100 ms): cumulative
-      acked bytes, cwnd, srtt. *)
+      acked bytes, cwnd, srtt. Raises [Invalid_argument] if [interval]
+      is not positive. *)
 
   val throughput : t -> Ccsim_util.Timeseries.t
   (** Per-interval goodput in bit/s, derived from acked-byte deltas. *)
@@ -22,7 +23,8 @@ module Queue_monitor : sig
   type t
 
   val create : Ccsim_engine.Sim.t -> qdisc:Ccsim_net.Qdisc.t -> ?interval:float -> unit -> t
-  (** Samples backlog every [interval] (default 10 ms). *)
+  (** Samples backlog every [interval] (default 10 ms). Raises
+      [Invalid_argument] if [interval] is not positive. *)
 
   val backlog_bytes : t -> Ccsim_util.Timeseries.t
   val mean_backlog_bytes : t -> float
@@ -33,7 +35,8 @@ module Link_monitor : sig
   type t
 
   val create : Ccsim_engine.Sim.t -> link:Ccsim_net.Link.t -> ?interval:float -> unit -> t
-  (** Samples delivered bytes every [interval] (default 100 ms). *)
+  (** Samples delivered bytes every [interval] (default 100 ms). Raises
+      [Invalid_argument] if [interval] is not positive. *)
 
   val utilization : t -> Ccsim_util.Timeseries.t
   (** Per-interval utilization in [0, 1] relative to the link's current

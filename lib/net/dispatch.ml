@@ -1,9 +1,23 @@
+module Obs = Ccsim_obs
+
 type t = {
   handlers : (int, Packet.t -> unit) Hashtbl.t;
   mutable unmatched : int;
+  m_delivered : Obs.Metrics.counter option;
+  m_unmatched : Obs.Metrics.counter option;
 }
 
-let create () = { handlers = Hashtbl.create 16; unmatched = 0 }
+let create () =
+  let scope = Obs.Scope.ambient () in
+  let counter name =
+    Option.map (fun m -> Obs.Metrics.counter m name) scope.Obs.Scope.metrics
+  in
+  {
+    handlers = Hashtbl.create 16;
+    unmatched = 0;
+    m_delivered = counter "dispatch_delivered_total";
+    m_unmatched = counter "dispatch_unmatched_total";
+  }
 
 let register t ~flow handler =
   if Hashtbl.mem t.handlers flow then invalid_arg "Dispatch.register: flow already registered";
@@ -13,8 +27,12 @@ let unregister t ~flow = Hashtbl.remove t.handlers flow
 
 let deliver t (pkt : Packet.t) =
   match Hashtbl.find_opt t.handlers pkt.flow with
-  | Some handler -> handler pkt
-  | None -> t.unmatched <- t.unmatched + 1
+  | Some handler ->
+      (match t.m_delivered with Some c -> Obs.Metrics.inc c | None -> ());
+      handler pkt
+  | None ->
+      t.unmatched <- t.unmatched + 1;
+      (match t.m_unmatched with Some c -> Obs.Metrics.inc c | None -> ())
 
 let as_sink t pkt = deliver t pkt
 let unmatched t = t.unmatched

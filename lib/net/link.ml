@@ -1,3 +1,27 @@
+module Obs = Ccsim_obs
+
+(* Observability handles resolved once at creation from the ambient
+   scope. [None] everywhere under the default scope, in which case the
+   per-packet paths below reduce to a [match] on [None]. *)
+type obs = {
+  recorder : Obs.Recorder.t option;
+  tx_bytes : Obs.Metrics.counter option;
+  tx_packets : Obs.Metrics.counter option;
+  busy_seconds_g : Obs.Metrics.gauge option;
+  rate_g : Obs.Metrics.gauge option;
+  rate_changes : Obs.Metrics.counter option;
+}
+
+let no_obs =
+  {
+    recorder = None;
+    tx_bytes = None;
+    tx_packets = None;
+    busy_seconds_g = None;
+    rate_g = None;
+    rate_changes = None;
+  }
+
 type t = {
   sim : Ccsim_engine.Sim.t;
   mutable rate_bps : float;
@@ -7,12 +31,38 @@ type t = {
   mutable busy : bool;
   mutable busy_seconds : float;
   mutable bytes_delivered : int;
+  obs : obs;
 }
 
 let create sim ~rate_bps ~delay_s ?qdisc ~sink () =
   if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
   if delay_s < 0.0 then invalid_arg "Link.create: negative delay";
   let qdisc = match qdisc with Some q -> q | None -> Fifo.create () in
+  let scope = Obs.Scope.ambient () in
+  let qdisc =
+    match (scope.Obs.Scope.metrics, scope.Obs.Scope.recorder) with
+    | None, None -> qdisc
+    | metrics, recorder ->
+        Qdisc_obs.instrument ?metrics ?recorder
+          ~now:(fun () -> Ccsim_engine.Sim.now sim)
+          qdisc
+  in
+  let obs =
+    match scope.Obs.Scope.metrics with
+    | None when scope.Obs.Scope.recorder = None -> no_obs
+    | m ->
+        let counter name = Option.map (fun m -> Obs.Metrics.counter m name) m in
+        let gauge name = Option.map (fun m -> Obs.Metrics.gauge m name) m in
+        {
+          recorder = scope.Obs.Scope.recorder;
+          tx_bytes = counter "link_tx_bytes_total";
+          tx_packets = counter "link_tx_packets_total";
+          busy_seconds_g = gauge "link_busy_seconds_total";
+          rate_g = gauge "link_rate_bps";
+          rate_changes = counter "link_rate_changes_total";
+        }
+  in
+  (match obs.rate_g with Some g -> Obs.Metrics.set g rate_bps | None -> ());
   {
     sim;
     rate_bps;
@@ -22,7 +72,27 @@ let create sim ~rate_bps ~delay_s ?qdisc ~sink () =
     busy = false;
     busy_seconds = 0.0;
     bytes_delivered = 0;
+    obs;
   }
+
+let note_delivery t (pkt : Packet.t) =
+  (match t.obs.tx_bytes with Some c -> Obs.Metrics.add c pkt.size_bytes | None -> ());
+  (match t.obs.tx_packets with Some c -> Obs.Metrics.inc c | None -> ());
+  (match t.obs.busy_seconds_g with Some g -> Obs.Metrics.set g t.busy_seconds | None -> ());
+  match t.obs.recorder with
+  | Some r ->
+      Obs.Recorder.record r
+        ~at:(Ccsim_engine.Sim.now t.sim)
+        ~severity:Obs.Recorder.Debug ~kind:"packet" ~point:"link"
+        ~fields:
+          [
+            ("flow", string_of_int pkt.flow);
+            ("seq", string_of_int pkt.seq);
+            ("bytes", string_of_int pkt.size_bytes);
+            ("ack", if Packet.is_data pkt then "0" else "1");
+          ]
+        "delivered"
+  | None -> ()
 
 let rec transmit_next t =
   match t.qdisc.Qdisc.dequeue () with
@@ -36,9 +106,13 @@ let rec transmit_next t =
       t.busy_seconds <- t.busy_seconds +. tx_time;
       ignore
         (Ccsim_engine.Sim.schedule t.sim ~delay:tx_time (fun () ->
+             Ccsim_engine.Sim.set_component t.sim "link";
              t.bytes_delivered <- t.bytes_delivered + pkt.size_bytes;
+             note_delivery t pkt;
              ignore
-               (Ccsim_engine.Sim.schedule t.sim ~delay:t.delay_s (fun () -> t.sink pkt));
+               (Ccsim_engine.Sim.schedule t.sim ~delay:t.delay_s (fun () ->
+                    Ccsim_engine.Sim.set_component t.sim "link";
+                    t.sink pkt));
              transmit_next t))
 
 let send t pkt =
@@ -49,7 +123,9 @@ let rate_bps t = t.rate_bps
 
 let set_rate t rate =
   if rate <= 0.0 then invalid_arg "Link.set_rate: rate must be positive";
-  t.rate_bps <- rate
+  t.rate_bps <- rate;
+  (match t.obs.rate_changes with Some c -> Obs.Metrics.inc c | None -> ());
+  match t.obs.rate_g with Some g -> Obs.Metrics.set g rate | None -> ()
 
 let delay_s t = t.delay_s
 let qdisc t = t.qdisc

@@ -5,7 +5,16 @@
     to the [sink] one propagation delay after serialization completes.
     The rate can change mid-simulation ({!set_rate}), which models
     cellular/satellite capacity variation; an in-flight serialization
-    finishes at the old rate. *)
+    finishes at the old rate.
+
+    When the ambient {!Ccsim_obs.Scope} carries instruments at
+    {!create} time, the link wraps its qdisc with
+    {!Qdisc_obs.instrument}, maintains [link_tx_bytes_total],
+    [link_tx_packets_total], [link_rate_changes_total] counters and
+    [link_rate_bps] / [link_busy_seconds_total] gauges, and journals a
+    debug-severity ["packet"]-class event per delivery. Under the
+    default empty scope none of this exists and behaviour is
+    byte-identical. *)
 
 type t
 

@@ -1,0 +1,29 @@
+(** Observability decorator for queue disciplines.
+
+    {!instrument} wraps any {!Qdisc.t} — FIFO, DRR, RED, CoDel, strict
+    priority — with metrics and flight-recorder hooks, without touching
+    the implementations: per-discipline enqueue/dequeue/drop counters
+    ([qdisc_enqueued_total] etc., labeled [{qdisc=<name>}]), a backlog
+    gauge, a log-scale sojourn-time histogram, and a ["qdisc"]-class
+    drop event per dropped packet. Instruments are shared across wrapped
+    instances with the same discipline name (registry semantics), so
+    numbers aggregate per discipline.
+
+    The wrapper shares the inner discipline's [stats] record and
+    backlog closures: external readers of the original record keep
+    working. Internal drops (e.g. CoDel head drops) are detected via
+    [stats.dropped] deltas around each operation.
+
+    {!Link.create} applies this automatically to its qdisc when the
+    ambient {!Ccsim_obs.Scope} carries metrics or a recorder; with the
+    default empty scope, [instrument] is never called and the qdisc is
+    untouched. *)
+
+val instrument :
+  ?metrics:Ccsim_obs.Metrics.t ->
+  ?recorder:Ccsim_obs.Recorder.t ->
+  now:(unit -> float) ->
+  Qdisc.t ->
+  Qdisc.t
+(** Returns the qdisc unchanged when neither [metrics] nor [recorder]
+    is given. *)

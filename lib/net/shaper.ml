@@ -1,3 +1,5 @@
+module Obs = Ccsim_obs
+
 type t = {
   sim : Ccsim_engine.Sim.t;
   bucket : Token_bucket.t;
@@ -8,10 +10,17 @@ type t = {
   mutable dropped : int;
   mutable forwarded : int;
   mutable release_pending : bool;
+  m_conforming : Obs.Metrics.counter option;
+  m_dropped : Obs.Metrics.counter option;
+  obs_recorder : Obs.Recorder.t option;
 }
 
 let create sim ~rate_bps ~burst_bytes ?(limit_bytes = Fifo.default_limit_bytes) ~sink () =
   if limit_bytes <= 0 then invalid_arg "Shaper.create: limit must be positive";
+  let scope = Obs.Scope.ambient () in
+  let counter name =
+    Option.map (fun m -> Obs.Metrics.counter m name) scope.Obs.Scope.metrics
+  in
   {
     sim;
     bucket = Token_bucket.create ~rate_bps ~burst_bytes ~now:(Ccsim_engine.Sim.now sim);
@@ -22,10 +31,25 @@ let create sim ~rate_bps ~burst_bytes ?(limit_bytes = Fifo.default_limit_bytes) 
     dropped = 0;
     forwarded = 0;
     release_pending = false;
+    m_conforming = counter "shaper_conforming_total";
+    m_dropped = counter "shaper_dropped_total";
+    obs_recorder = scope.Obs.Scope.recorder;
   }
+
+let note_drop t (pkt : Packet.t) =
+  (match t.m_dropped with Some c -> Obs.Metrics.inc c | None -> ());
+  match t.obs_recorder with
+  | Some r ->
+      Obs.Recorder.record r
+        ~at:(Ccsim_engine.Sim.now t.sim)
+        ~severity:Obs.Recorder.Warn ~kind:"qdisc" ~point:"shaper"
+        ~fields:[ ("flow", string_of_int pkt.flow); ("bytes", string_of_int pkt.size_bytes) ]
+        "drop"
+  | None -> ()
 
 let forward t pkt =
   t.forwarded <- t.forwarded + 1;
+  (match t.m_conforming with Some c -> Obs.Metrics.inc c | None -> ());
   t.sink pkt
 
 (* Drain the head of the queue while tokens allow; otherwise schedule a
@@ -39,6 +63,7 @@ let rec drain t =
       ignore (Queue.pop t.queue);
       t.backlog <- t.backlog - pkt.size_bytes;
       t.dropped <- t.dropped + 1;
+      note_drop t pkt;
       drain t
   | Some pkt ->
       let now = Ccsim_engine.Sim.now t.sim in
@@ -64,7 +89,10 @@ let input t (pkt : Packet.t) =
   let now = Ccsim_engine.Sim.now t.sim in
   if Queue.is_empty t.queue && Token_bucket.try_consume t.bucket ~now ~bytes:pkt.size_bytes then
     forward t pkt
-  else if t.backlog + pkt.size_bytes > t.limit_bytes then t.dropped <- t.dropped + 1
+  else if t.backlog + pkt.size_bytes > t.limit_bytes then begin
+    t.dropped <- t.dropped + 1;
+    note_drop t pkt
+  end
   else begin
     Queue.push pkt t.queue;
     t.backlog <- t.backlog + pkt.size_bytes;

@@ -16,16 +16,21 @@ type t = {
   capacity : int;
   buffer : event Queue.t;
   mutable total : int;
+  mirror : Ccsim_obs.Recorder.t option;
 }
 
 let create ?(capacity = 100_000) sim =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { sim; capacity; buffer = Queue.create (); total = 0 }
+  let scope = Ccsim_obs.Scope.ambient () in
+  { sim; capacity; buffer = Queue.create (); total = 0; mirror = scope.Ccsim_obs.Scope.recorder }
+
+let kind_label = function Sent -> "sent" | Delivered -> "delivered" | Dropped -> "dropped"
 
 let record t ~kind ~point (pkt : Packet.t) =
+  let at = Ccsim_engine.Sim.now t.sim in
   let event =
     {
-      at = Ccsim_engine.Sim.now t.sim;
+      at;
       kind;
       point;
       flow = pkt.flow;
@@ -37,7 +42,25 @@ let record t ~kind ~point (pkt : Packet.t) =
   in
   Queue.push event t.buffer;
   t.total <- t.total + 1;
-  if Queue.length t.buffer > t.capacity then ignore (Queue.pop t.buffer)
+  if Queue.length t.buffer > t.capacity then ignore (Queue.pop t.buffer);
+  match t.mirror with
+  | Some r ->
+      let severity =
+        match kind with
+        | Dropped -> Ccsim_obs.Recorder.Warn
+        | Sent | Delivered -> Ccsim_obs.Recorder.Debug
+      in
+      Ccsim_obs.Recorder.record r ~at ~severity ~kind:"packet" ~point
+        ~fields:
+          [
+            ("flow", string_of_int pkt.flow);
+            ("seq", string_of_int pkt.seq);
+            ("bytes", string_of_int pkt.size_bytes);
+            ("ack", if Packet.is_data pkt then "0" else "1");
+            ("retx", if pkt.retx then "1" else "0");
+          ]
+        (kind_label kind)
+  | None -> ()
 
 let tap t ~point sink pkt =
   record t ~kind:Delivered ~point pkt;

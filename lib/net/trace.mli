@@ -4,7 +4,13 @@
     drops) for debugging scenarios and asserting fine-grained behaviour
     in tests. Wrap any sink with {!tap} to record deliveries at that
     point; qdisc/shaper drops are recorded by the caller via
-    {!record}. *)
+    {!record}.
+
+    When the ambient {!Ccsim_obs.Scope} carries a flight recorder at
+    {!create} time, every event is mirrored into it as a
+    ["packet"]-class entry (drops at [Warn] severity, sends/deliveries
+    at [Debug]), so packet history lands in the same journal as CCA
+    decisions and qdisc drops. *)
 
 type event_kind = Sent | Delivered | Dropped
 
@@ -34,10 +40,16 @@ val tap_send : t -> point:string -> (Packet.t -> unit) -> Packet.t -> unit
 (** Like {!tap} but records [Sent] — wrap a flow's injection point. *)
 
 val events : t -> event list
-(** Oldest first, within the retained window. *)
+(** Oldest first, within the retained window. Once more than
+    [capacity] events have been observed, the window holds exactly the
+    [capacity] {e most recent} events: recording event number
+    [capacity + k] evicts the oldest retained event, so the window
+    spans observations [(count - capacity + 1) .. count]. *)
 
 val count : t -> int
-(** Total events observed (including evicted ones). *)
+(** Total events ever observed, {e including} evicted ones — this keeps
+    growing after the buffer is full, so [count t] may exceed
+    [List.length (events t)] (which is bounded by [capacity]). *)
 
 val filter : t -> f:(event -> bool) -> event list
 

@@ -1,0 +1,13 @@
+(** Minimal JSON rendering helpers shared by the observability exporters.
+
+    Only what NDJSON emission needs: string escaping and flat
+    string-to-string objects. Not a JSON library. *)
+
+val escape : string -> string
+(** Escape for inclusion inside a double-quoted JSON string. *)
+
+val str : string -> string
+(** Quoted, escaped JSON string literal. *)
+
+val obj_of_strings : (string * string) list -> string
+(** [{"k":"v",...}] with both keys and values escaped. *)

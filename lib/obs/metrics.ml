@@ -1,0 +1,155 @@
+type labels = (string * string) list
+
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+(* Log-scale histogram: power-of-two buckets. A positive value [x] with
+   [frexp x = (_, e)] (i.e. x in [2^(e-1), 2^e)) lands in bucket
+   [clamp (e + exponent_offset)], so the covered range spans roughly
+   2^-41 .. 2^23 — nanoseconds to megaseconds, or single bytes to
+   terabytes. Non-positive values are counted separately. *)
+type histogram = {
+  buckets : int array;
+  mutable zero : int;  (* observations <= 0 *)
+  mutable observations : int;
+  mutable sum : float;
+}
+
+let bucket_count = 64
+let exponent_offset = 41
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type key = { name : string; labels : labels }
+
+type t = {
+  table : (key, instrument) Hashtbl.t;
+  mutable order : key list;  (* registration order, newest first *)
+}
+
+let create () = { table = Hashtbl.create 64; order = [] }
+
+let normalize_labels labels = List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let register t key instr =
+  Hashtbl.add t.table key instr;
+  t.order <- key :: t.order
+
+let counter t ?(labels = []) name =
+  let key = { name; labels = normalize_labels labels } in
+  match Hashtbl.find_opt t.table key with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics.counter: %S is registered as another kind" name)
+  | None ->
+      let c = { count = 0 } in
+      register t key (Counter c);
+      c
+
+let gauge t ?(labels = []) name =
+  let key = { name; labels = normalize_labels labels } in
+  match Hashtbl.find_opt t.table key with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %S is registered as another kind" name)
+  | None ->
+      let g = { value = 0.0 } in
+      register t key (Gauge g);
+      g
+
+let histogram t ?(labels = []) name =
+  let key = { name; labels = normalize_labels labels } in
+  match Hashtbl.find_opt t.table key with
+  | Some (Histogram h) -> h
+  | Some _ ->
+      invalid_arg (Printf.sprintf "Metrics.histogram: %S is registered as another kind" name)
+  | None ->
+      let h = { buckets = Array.make bucket_count 0; zero = 0; observations = 0; sum = 0.0 } in
+      register t key (Histogram h);
+      h
+
+let inc c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let value c = c.count
+let set g v = g.value <- v
+let gauge_value g = g.value
+
+let bucket_index x =
+  let _, e = Float.frexp x in
+  let i = e + exponent_offset in
+  if i < 0 then 0 else if i >= bucket_count then bucket_count - 1 else i
+
+let observe h x =
+  h.observations <- h.observations + 1;
+  h.sum <- h.sum +. x;
+  if x <= 0.0 then h.zero <- h.zero + 1
+  else begin
+    let i = bucket_index x in
+    h.buckets.(i) <- h.buckets.(i) + 1
+  end
+
+let observations h = h.observations
+let sum h = h.sum
+
+let bucket_upper_bound i = Float.ldexp 1.0 (i - exponent_offset + 1)
+
+let size t = Hashtbl.length t.table
+
+let find_counter t ?(labels = []) name =
+  match Hashtbl.find_opt t.table { name; labels = normalize_labels labels } with
+  | Some (Counter c) -> Some c
+  | Some _ | None -> None
+
+let find_gauge t ?(labels = []) name =
+  match Hashtbl.find_opt t.table { name; labels = normalize_labels labels } with
+  | Some (Gauge g) -> Some g
+  | Some _ | None -> None
+
+let find_histogram t ?(labels = []) name =
+  match Hashtbl.find_opt t.table { name; labels = normalize_labels labels } with
+  | Some (Histogram h) -> Some h
+  | Some _ | None -> None
+
+let float_lit v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+let line_to buf ?(extra = []) key instr =
+  Buffer.add_char buf '{';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Json.str k);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (Json.str v);
+      Buffer.add_char buf ',')
+    extra;
+  let kind =
+    match instr with Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+  in
+  Printf.bprintf buf "\"type\":%s,\"name\":%s,\"labels\":%s" (Json.str kind) (Json.str key.name)
+    (Json.obj_of_strings key.labels);
+  (match instr with
+  | Counter c -> Printf.bprintf buf ",\"value\":%d" c.count
+  | Gauge g -> Printf.bprintf buf ",\"value\":%s" (float_lit g.value)
+  | Histogram h ->
+      Printf.bprintf buf ",\"count\":%d,\"sum\":%s,\"zero\":%d,\"buckets\":[" h.observations
+        (float_lit h.sum) h.zero;
+      let first = ref true in
+      Array.iteri
+        (fun i n ->
+          if n > 0 then begin
+            if not !first then Buffer.add_char buf ',';
+            first := false;
+            Printf.bprintf buf "{\"le\":%.9g,\"count\":%d}" (bucket_upper_bound i) n
+          end)
+        h.buckets;
+      Buffer.add_char buf ']');
+  Buffer.add_string buf "}\n"
+
+let to_ndjson ?extra t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun key -> line_to buf ?extra key (Hashtbl.find t.table key))
+    (List.rev t.order);
+  Buffer.contents buf

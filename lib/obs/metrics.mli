@@ -1,0 +1,62 @@
+(** Metrics registry: named counters, gauges, and log-scale histograms
+    with labels.
+
+    Instruments are registered (or re-fetched) by [(name, labels)]; two
+    registrations with the same name and label set share one instrument,
+    so independently created components naturally aggregate (e.g. every
+    FIFO qdisc increments the same ["qdisc_enqueued_total"]
+    [{qdisc=fifo}] counter). Label order is irrelevant.
+
+    Mutation is allocation-free: a counter increment is a single field
+    store. Registries are not thread-safe — use one registry per
+    concurrently running job (as the CLI does) rather than sharing one
+    across pool domains. *)
+
+type t
+(** A registry. *)
+
+type labels = (string * string) list
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> ?labels:labels -> string -> counter
+(** Get or register. Raises [Invalid_argument] if [(name, labels)] is
+    already registered as a different instrument kind. *)
+
+val gauge : t -> ?labels:labels -> string -> gauge
+val histogram : t -> ?labels:labels -> string -> histogram
+(** Log-scale histogram with power-of-two buckets covering roughly
+    [2^-41, 2^23) — nanoseconds to megaseconds when observing seconds.
+    Non-positive observations are tallied in a separate zero bucket. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+val observations : histogram -> int
+val sum : histogram -> float
+
+val bucket_upper_bound : int -> float
+(** Exclusive upper bound of bucket [i] (for export consumers). *)
+
+val size : t -> int
+(** Number of registered instruments. *)
+
+val find_counter : t -> ?labels:labels -> string -> counter option
+val find_gauge : t -> ?labels:labels -> string -> gauge option
+val find_histogram : t -> ?labels:labels -> string -> histogram option
+
+val to_ndjson : ?extra:(string * string) list -> t -> string
+(** One JSON object per line, in registration order. [extra] key/value
+    pairs (e.g. [("job", "fig1")]) are prepended to every line.
+    Counter/gauge lines carry ["value"]; histogram lines carry
+    ["count"], ["sum"], ["zero"], and the non-empty ["buckets"] as
+    [{"le", "count"}] pairs. *)

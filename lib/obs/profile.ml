@@ -1,0 +1,68 @@
+type comp = { mutable events : int; mutable seconds : float }
+
+type t = {
+  comps : (string, comp) Hashtbl.t;
+  mutable events_executed : int;
+  mutable busy_s : float;
+  mutable max_heap_depth : int;
+}
+
+let create () =
+  { comps = Hashtbl.create 16; events_executed = 0; busy_s = 0.0; max_heap_depth = 0 }
+
+let record t ~comp ~seconds =
+  t.events_executed <- t.events_executed + 1;
+  t.busy_s <- t.busy_s +. seconds;
+  let c =
+    match Hashtbl.find_opt t.comps comp with
+    | Some c -> c
+    | None ->
+        let c = { events = 0; seconds = 0.0 } in
+        Hashtbl.add t.comps comp c;
+        c
+  in
+  c.events <- c.events + 1;
+  c.seconds <- c.seconds +. seconds
+
+let note_heap_depth t depth = if depth > t.max_heap_depth then t.max_heap_depth <- depth
+
+let events_executed t = t.events_executed
+let busy_s t = t.busy_s
+let max_heap_depth t = t.max_heap_depth
+
+let events_per_sec t =
+  if t.busy_s > 0.0 then float_of_int t.events_executed /. t.busy_s else 0.0
+
+let components t =
+  let rows = Hashtbl.fold (fun name c acc -> (name, c.events, c.seconds) :: acc) t.comps [] in
+  List.sort
+    (fun (na, _, sa) (nb, _, sb) ->
+      match compare sb sa with 0 -> compare na nb | c -> c)
+    rows
+
+let to_json t =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf
+    "{\"events_executed\": %d, \"busy_s\": %.6f, \"events_per_sec\": %.1f, \"max_heap_depth\": %d, \"components\": ["
+    t.events_executed t.busy_s (events_per_sec t) t.max_heap_depth;
+  List.iteri
+    (fun i (name, events, seconds) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Printf.bprintf buf "{\"component\": %s, \"events\": %d, \"seconds\": %.6f}" (Json.str name)
+        events seconds)
+    (components t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let summary t =
+  let top =
+    match components t with
+    | [] -> "no components"
+    | rows ->
+        String.concat ", "
+          (List.filteri (fun i _ -> i < 4) rows
+          |> List.map (fun (name, events, seconds) ->
+                 Printf.sprintf "%s %.3fs/%d" name seconds events))
+  in
+  Printf.sprintf "%d events in %.3fs busy (%.0f ev/s), heap depth <= %d; %s" t.events_executed
+    t.busy_s (events_per_sec t) t.max_heap_depth top

@@ -1,0 +1,35 @@
+(** Engine profile: event-execution time attributed to components.
+
+    Filled in by {!Ccsim_engine.Sim} when a profile is attached to a
+    simulation: each executed event's wall-clock cost is charged to the
+    component label the event's callback declared (via
+    [Sim.set_component]), or ["other"]. Also tracks the peak event-heap
+    depth and the events-per-second throughput of the engine itself. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> comp:string -> seconds:float -> unit
+(** Charge one executed event to [comp]. *)
+
+val note_heap_depth : t -> int -> unit
+(** Update the peak heap depth. *)
+
+val events_executed : t -> int
+val busy_s : t -> float
+(** Cumulative wall-clock spent executing event callbacks. *)
+
+val max_heap_depth : t -> int
+val events_per_sec : t -> float
+(** [events_executed / busy_s]; 0 before any event ran. *)
+
+val components : t -> (string * int * float) list
+(** [(component, events, seconds)], most expensive first. *)
+
+val to_json : t -> string
+(** A JSON object (no trailing newline) — embedded per job in
+    {!Ccsim_runner.Telemetry} reports. *)
+
+val summary : t -> string
+(** One-line human-readable digest. *)

@@ -1,0 +1,26 @@
+type t = {
+  metrics : Metrics.t option;
+  recorder : Recorder.t option;
+  profile : Profile.t option;
+}
+
+let none = { metrics = None; recorder = None; profile = None }
+
+let v ?metrics ?recorder ?profile () = { metrics; recorder; profile }
+
+let is_none t =
+  match t with
+  | { metrics = None; recorder = None; profile = None } -> true
+  | _ -> false
+
+(* Domain-local so runner pool workers (sibling domains) each see their
+   own scope: a job thunk wrapping itself in [with_scope] instruments
+   only the components it creates, never a concurrently running job's. *)
+let key = Domain.DLS.new_key (fun () -> none)
+
+let ambient () = Domain.DLS.get key
+
+let with_scope scope f =
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key scope;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f

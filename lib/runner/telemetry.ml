@@ -58,20 +58,26 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let to_json t =
+let to_json ?(profiles = []) t =
   let buf = Buffer.create 2048 in
   Printf.bprintf buf
     "{\n  \"schema\": \"ccsim-runner/1\",\n  \"pool_jobs\": %d,\n  \"total_wall_s\": %.6f,\n  \"cache_hits\": %d,\n  \"failures\": %d,\n  \"jobs\": [\n"
     t.pool_jobs t.total_wall_s (cache_hits t) (failures t);
   Array.iteri
     (fun i (r : Job.result) ->
+      let profile_field =
+        match List.assoc_opt r.name profiles with
+        | Some json -> Printf.sprintf ", \"profile\": %s" json
+        | None -> ""
+      in
       Printf.bprintf buf
-        "    {\"name\": \"%s\", \"digest\": \"%s\", \"ok\": %b, \"cache_hit\": %b, \"attempts\": %d, \"queue_wait_s\": %.6f, \"wall_s\": %.6f, \"timed_out\": %b, \"error\": %s}%s\n"
+        "    {\"name\": \"%s\", \"digest\": \"%s\", \"ok\": %b, \"cache_hit\": %b, \"attempts\": %d, \"queue_wait_s\": %.6f, \"wall_s\": %.6f, \"timed_out\": %b, \"error\": %s%s}%s\n"
         (json_escape r.name) (json_escape r.digest) r.ok r.cache_hit r.attempts
         r.queue_wait_s r.wall_s r.timed_out
         (match r.error with
         | None -> "null"
         | Some e -> Printf.sprintf "\"%s\"" (json_escape e))
+        profile_field
         (if i = Array.length t.results - 1 then "" else ","))
     t.results;
   Buffer.add_string buf "  ]\n}\n";
@@ -83,11 +89,11 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let write_json t ~path =
+let write_json ?(profiles = []) t ~path =
   mkdir_p (Filename.dirname path);
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_json t));
+    (fun () -> output_string oc (to_json ~profiles t));
   Sys.rename tmp path

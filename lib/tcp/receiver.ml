@@ -18,6 +18,7 @@ type t = {
   mutable pending_echo : float;  (* sent_at of the newest unacked segment *)
   mutable pending_retx : bool;
   receive_times : Ccsim_util.Timeseries.t;
+  m_acks : Ccsim_obs.Metrics.counter option;
 }
 
 let create sim ~flow ~ack_path ?(buffer_bytes = 4 * 1024 * 1024) ?(consume_rate_bps = infinity)
@@ -40,6 +41,13 @@ let create sim ~flow ~ack_path ?(buffer_bytes = 4 * 1024 * 1024) ?(consume_rate_
     pending_echo = 0.0;
     pending_retx = false;
     receive_times = Ccsim_util.Timeseries.create ();
+    m_acks =
+      Option.map
+        (fun m ->
+          Ccsim_obs.Metrics.counter m
+            ~labels:[ ("flow", string_of_int flow) ]
+            "tcp_acks_sent_total")
+        (Ccsim_obs.Scope.ambient ()).Ccsim_obs.Scope.metrics;
   }
 
 (* Advance the application-drain model to the current time. *)
@@ -91,6 +99,7 @@ let send_ack t ~echo ~for_retx ~ece =
   (* Advertise up to three buffered out-of-order ranges (SACK blocks). *)
   let sacks = List.filteri (fun i _ -> i < 3) t.ooo in
   t.acks_sent <- t.acks_sent + 1;
+  (match t.m_acks with Some c -> Ccsim_obs.Metrics.inc c | None -> ());
   t.unacked_segments <- 0;
   (match t.delack_timer with
   | Some id ->
@@ -121,6 +130,7 @@ let handle_data t (pkt : Packet.t) =
         t.delack_timer <-
           Some
             (Sim.schedule t.sim ~delay:0.04 (fun () ->
+                 Sim.set_component t.sim "tcp";
                  t.delack_timer <- None;
                  if t.unacked_segments > 0 then
                    send_ack t ~echo:t.pending_echo ~for_retx:t.pending_retx ~ece:false))

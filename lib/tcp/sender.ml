@@ -1,6 +1,7 @@
 module Sim = Ccsim_engine.Sim
 module Packet = Ccsim_net.Packet
 module Cca = Ccsim_cca.Cca
+module Obs = Ccsim_obs
 
 type segment = {
   seq : int;
@@ -68,6 +69,11 @@ type t = {
   mutable rwnd_limited_s : float;
   mutable cwnd_limited_s : float;
   mutable busy_s : float;
+  (* observability, resolved from the ambient scope at creation *)
+  m_retransmits : Obs.Metrics.counter option;
+  m_rtos : Obs.Metrics.counter option;
+  m_cwnd_limited : Obs.Metrics.counter option;
+  obs_recorder : Obs.Recorder.t option;
 }
 
 let flow t = t.flow
@@ -87,6 +93,8 @@ let min_rtt t = Rtt_estimator.min_rtt t.rtt
 let account_limited t state =
   let now = Sim.now t.sim in
   if state <> t.limited_state then begin
+    (if state = Cwnd then
+       match t.m_cwnd_limited with Some c -> Obs.Metrics.inc c | None -> ());
     let elapsed = now -. t.limited_since in
     (match t.limited_state with
     | Not_started -> ()
@@ -145,7 +153,20 @@ let enter_recovery t =
   if not t.in_recovery then begin
     t.in_recovery <- true;
     t.recover <- t.snd_nxt;
-    t.cca.Cca.on_loss { Cca.now = Sim.now t.sim; inflight = inflight t; mss = t.mss }
+    let now = Sim.now t.sim in
+    (match t.obs_recorder with
+    | Some r ->
+        Obs.Recorder.record r ~at:now ~severity:Obs.Recorder.Info ~kind:"cca"
+          ~point:t.cca.Cca.name
+          ~fields:
+            [
+              ("flow", string_of_int t.flow);
+              ("inflight", string_of_int (inflight t));
+              ("lost_bytes", string_of_int t.lost_bytes);
+            ]
+          "loss_response"
+    | None -> ());
+    t.cca.Cca.on_loss { Cca.now; inflight = inflight t; mss = t.mss }
   end
 
 (* --- timers ---------------------------------------------------------------- *)
@@ -174,7 +195,8 @@ let transmit t (seg : segment) ~is_retx =
   if is_retx then begin
     seg.retx_count <- seg.retx_count + 1;
     t.bytes_retrans <- t.bytes_retrans + seg.len;
-    t.segs_retrans <- t.segs_retrans + 1
+    t.segs_retrans <- t.segs_retrans + 1;
+    match t.m_retransmits with Some c -> Obs.Metrics.inc c | None -> ()
   end;
   t.pace_next <- Float.max now t.pace_next +. pacing_delay t seg.len;
   t.cca.Cca.on_send ~now ~bytes:seg.len;
@@ -201,13 +223,30 @@ let rec arm_rto t =
   cancel_rto t;
   if inflight t > 0 && not t.stopped then begin
     let delay = Rtt_estimator.rto t.rtt in
-    t.rto_event <- Some (Sim.schedule t.sim ~delay (fun () -> on_rto t))
+    t.rto_event <-
+      Some
+        (Sim.schedule t.sim ~delay (fun () ->
+             Sim.set_component t.sim "tcp";
+             on_rto t))
   end
 
 and on_rto t =
   t.rto_event <- None;
   if inflight t > 0 && not t.stopped then begin
     t.rto_count <- t.rto_count + 1;
+    (match t.m_rtos with Some c -> Obs.Metrics.inc c | None -> ());
+    (match t.obs_recorder with
+    | Some r ->
+        Obs.Recorder.record r ~at:(Sim.now t.sim) ~severity:Obs.Recorder.Warn ~kind:"tcp"
+          ~point:"sender"
+          ~fields:
+            [
+              ("flow", string_of_int t.flow);
+              ("inflight", string_of_int (inflight t));
+              ("rto_count", string_of_int t.rto_count);
+            ]
+          "rto"
+    | None -> ());
     Rtt_estimator.backoff t.rtt;
     t.cca.Cca.on_rto ~now:(Sim.now t.sim);
     t.dupacks <- 0;
@@ -233,6 +272,7 @@ and try_send t =
           t.pace_pending <- true;
           ignore
             (Sim.schedule t.sim ~delay:(t.pace_next -. now) (fun () ->
+                 Sim.set_component t.sim "tcp";
                  t.pace_pending <- false;
                  try_send t))
         end
@@ -334,6 +374,7 @@ let process_sacks t sacks =
 let handle_ack t (pkt : Packet.t) =
   if t.stopped then ()
   else begin
+    Sim.set_component t.sim "tcp";
     let now = Sim.now t.sim in
     t.rwnd <- pkt.rwnd;
     process_sacks t pkt.sacks;
@@ -475,6 +516,12 @@ let info t =
   }
 
 let create sim ~flow ~cca ~path ?(mss = Ccsim_util.Units.mss) ?(on_complete = fun _ -> ()) () =
+  let scope = Obs.Scope.ambient () in
+  let counter name =
+    Option.map
+      (fun m -> Obs.Metrics.counter m ~labels:[ ("flow", string_of_int flow) ] name)
+      scope.Obs.Scope.metrics
+  in
   {
     sim;
     flow;
@@ -519,4 +566,8 @@ let create sim ~flow ~cca ~path ?(mss = Ccsim_util.Units.mss) ?(on_complete = fu
     rwnd_limited_s = 0.0;
     cwnd_limited_s = 0.0;
     busy_s = 0.0;
+    m_retransmits = counter "tcp_retransmits_total";
+    m_rtos = counter "tcp_rtos_total";
+    m_cwnd_limited = counter "tcp_cwnd_limited_transitions_total";
+    obs_recorder = scope.Obs.Scope.recorder;
   }

@@ -63,9 +63,44 @@ let test_trace_capacity_bound () =
   Alcotest.(check int) "total observed" 100 (Net.Trace.count trace);
   Alcotest.(check int) "window bounded" 10 (List.length (Net.Trace.events trace));
   (* Retained events are the newest. *)
-  match Net.Trace.events trace with
+  (match Net.Trace.events trace with
   | first :: _ -> Alcotest.(check int) "oldest retained is seq 90" 90 first.seq
+  | [] -> Alcotest.fail "no events");
+  match List.rev (Net.Trace.events trace) with
+  | newest :: _ -> Alcotest.(check int) "newest retained is seq 99" 99 newest.seq
   | [] -> Alcotest.fail "no events"
+
+(* Regression for the count/eviction window boundary: [count] keeps
+   growing after the buffer fills, and recording event [capacity + k]
+   evicts exactly the k oldest — the window spans observations
+   [(count - capacity + 1) .. count], nothing off by one. *)
+let test_trace_count_vs_eviction_boundary () =
+  let sim = Sim.create () in
+  let capacity = 5 in
+  let trace = Net.Trace.create ~capacity sim in
+  let record seq =
+    Net.Trace.record trace ~kind:Net.Trace.Sent ~point:"tx"
+      (Net.Packet.data ~flow:0 ~seq ~payload_bytes:10 ~sent_at:0.0 ())
+  in
+  (* Exactly at capacity: nothing evicted yet. *)
+  for i = 0 to capacity - 1 do record i done;
+  Alcotest.(check int) "count at capacity" capacity (Net.Trace.count trace);
+  Alcotest.(check int) "full window retained" capacity
+    (List.length (Net.Trace.events trace));
+  (match Net.Trace.events trace with
+  | first :: _ -> Alcotest.(check int) "seq 0 still retained" 0 first.seq
+  | [] -> Alcotest.fail "no events");
+  (* One past capacity: the single oldest event is evicted. *)
+  record capacity;
+  Alcotest.(check int) "count keeps growing" (capacity + 1) (Net.Trace.count trace);
+  Alcotest.(check int) "window still bounded" capacity
+    (List.length (Net.Trace.events trace));
+  (match Net.Trace.events trace with
+  | first :: _ -> Alcotest.(check int) "seq 0 evicted, window starts at 1" 1 first.seq
+  | [] -> Alcotest.fail "no events");
+  (* count - List.length (events) is exactly the evicted tally. *)
+  Alcotest.(check int) "evicted = count - retained" 1
+    (Net.Trace.count trace - List.length (Net.Trace.events trace))
 
 (* --- Rate_process --------------------------------------------------------------- *)
 
@@ -227,6 +262,7 @@ let suite =
     ("csv: cdf export", `Quick, test_csv_of_cdf);
     ("trace: tap records and forwards", `Quick, test_trace_tap_records);
     ("trace: bounded window", `Quick, test_trace_capacity_bound);
+    ("trace: count vs eviction boundary", `Quick, test_trace_count_vs_eviction_boundary);
     ("rate: markov transitions", `Quick, test_markov_rate_changes);
     ("rate: OU mean reversion", `Quick, test_ou_mean_reversion);
     ("rate: traffic over variable link", `Quick, test_variable_link_carries_traffic);

@@ -14,4 +14,5 @@ let () =
       ("features", Test_features.suite);
       ("parking lot", Test_parking_lot.suite);
       ("runner", Test_runner.suite);
+      ("obs", Test_obs.suite);
     ]

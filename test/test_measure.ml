@@ -159,6 +159,27 @@ let test_queue_monitor () =
     (M.Telemetry.Queue_monitor.mean_backlog_bytes monitor
     <= M.Telemetry.Queue_monitor.max_backlog_bytes monitor)
 
+(* Non-positive sampling intervals would silently hang Sim.every or
+   divide by zero; all three monitors must reject them up front. *)
+let test_monitor_interval_validation () =
+  let sim = Sim.create () in
+  let topo = Ccsim_net.Topology.dumbbell sim ~rate_bps:10e6 ~delay_s:0.01 () in
+  let conn = Ccsim_tcp.Connection.establish topo ~flow:0 ~cca:(Ccsim_cca.Cubic.create ()) () in
+  let qdisc = Ccsim_net.Fifo.create () in
+  let link = Ccsim_net.Link.create sim ~rate_bps:1e6 ~delay_s:0.0 ~sink:(fun _ -> ()) () in
+  Alcotest.check_raises "flow monitor, zero"
+    (Invalid_argument "Telemetry.Flow_monitor.create: interval must be positive") (fun () ->
+      ignore (M.Telemetry.Flow_monitor.create sim ~sender:conn.sender ~interval:0.0 ()));
+  Alcotest.check_raises "flow monitor, negative"
+    (Invalid_argument "Telemetry.Flow_monitor.create: interval must be positive") (fun () ->
+      ignore (M.Telemetry.Flow_monitor.create sim ~sender:conn.sender ~interval:(-0.1) ()));
+  Alcotest.check_raises "queue monitor, zero"
+    (Invalid_argument "Telemetry.Queue_monitor.create: interval must be positive") (fun () ->
+      ignore (M.Telemetry.Queue_monitor.create sim ~qdisc ~interval:0.0 ()));
+  Alcotest.check_raises "link monitor, negative"
+    (Invalid_argument "Telemetry.Link_monitor.create: interval must be positive") (fun () ->
+      ignore (M.Telemetry.Link_monitor.create sim ~link ~interval:(-1.0) ()))
+
 (* --- Ndt ------------------------------------------------------------------------------- *)
 
 let test_ndt_generate_count_and_mixture () =
@@ -315,6 +336,8 @@ let suite =
     ("elasticity: windowed series", `Quick, test_elasticity_windowed);
     ("telemetry: flow monitor", `Quick, test_flow_monitor_throughput);
     ("telemetry: queue monitor", `Quick, test_queue_monitor);
+    ("telemetry: monitors reject non-positive intervals", `Quick,
+     test_monitor_interval_validation);
     ("ndt: count and mixture", `Quick, test_ndt_generate_count_and_mixture);
     ("ndt: traces well-formed", `Quick, test_ndt_traces_well_formed);
     ("ndt: contended flows carry shifts", `Quick, test_ndt_contended_have_shifts);

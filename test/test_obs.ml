@@ -1,0 +1,283 @@
+(* Observability subsystem: metrics registry, flight recorder, ambient
+   scope, engine profiler, and their end-to-end integration with
+   scenario runs. *)
+
+module Obs = Ccsim_obs
+module Metrics = Obs.Metrics
+module Recorder = Obs.Recorder
+module Profile = Obs.Profile
+module Scope = Obs.Scope
+module Sim = Ccsim_engine.Sim
+module Scenario = Ccsim_core.Scenario
+module Results = Ccsim_core.Results
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- metrics registry ---------------------------------------------------- *)
+
+let test_counter_basics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "events_total" in
+  Metrics.inc c;
+  Metrics.add c 4;
+  Alcotest.(check int) "count" 5 (Metrics.value c);
+  (* Re-registration returns the same instrument. *)
+  let c' = Metrics.counter m "events_total" in
+  Metrics.inc c';
+  Alcotest.(check int) "shared" 6 (Metrics.value c);
+  Alcotest.(check int) "one instrument" 1 (Metrics.size m)
+
+let test_labels_distinguish () =
+  let m = Metrics.create () in
+  let a = Metrics.counter m ~labels:[ ("qdisc", "fifo") ] "drops" in
+  let b = Metrics.counter m ~labels:[ ("qdisc", "codel") ] "drops" in
+  Metrics.inc a;
+  Alcotest.(check int) "b untouched" 0 (Metrics.value b);
+  (* Label order is irrelevant. *)
+  let a' =
+    Metrics.counter m ~labels:[ ("x", "1"); ("qdisc", "fifo") ] "multi"
+  in
+  let a'' =
+    Metrics.counter m ~labels:[ ("qdisc", "fifo"); ("x", "1") ] "multi"
+  in
+  Metrics.inc a';
+  Metrics.inc a'';
+  Alcotest.(check int) "order-insensitive" 2 (Metrics.value a')
+
+let test_kind_mismatch_rejected () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Metrics.gauge: \"x\" is registered as another kind") (fun () ->
+      ignore (Metrics.gauge m "x"))
+
+let test_gauge_and_histogram () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "depth" in
+  Metrics.set g 3.5;
+  Alcotest.(check (float 1e-9)) "gauge" 3.5 (Metrics.gauge_value g);
+  let h = Metrics.histogram m "sojourn" in
+  Metrics.observe h 0.001;
+  Metrics.observe h 0.002;
+  Metrics.observe h 0.0;
+  (* zero bucket *)
+  Alcotest.(check int) "observations" 3 (Metrics.observations h);
+  Alcotest.(check (float 1e-9)) "sum" 0.003 (Metrics.sum h)
+
+let test_histogram_buckets_monotone () =
+  (* Upper bounds must be strictly increasing powers of two. *)
+  let prev = ref 0.0 in
+  for i = 0 to 63 do
+    let ub = Metrics.bucket_upper_bound i in
+    Alcotest.(check bool) "monotone" true (ub > !prev);
+    prev := ub
+  done
+
+let test_metrics_ndjson () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~labels:[ ("qdisc", "fifo") ] "drops_total" in
+  Metrics.add c 7;
+  let h = Metrics.histogram m "sojourn_seconds" in
+  Metrics.observe h 0.01;
+  let out = Metrics.to_ndjson ~extra:[ ("job", "t1") ] m in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "two lines" 2 (List.length lines);
+  let first = List.nth lines 0 in
+  Alcotest.(check bool) "job tag" true
+    (contains ~sub:"\"job\":\"t1\"" first);
+  Alcotest.(check bool) "value" true
+    (contains ~sub:"\"value\":7" first);
+  Alcotest.(check bool) "labels" true
+    (contains ~sub:"\"qdisc\":\"fifo\"" first);
+  let second = List.nth lines 1 in
+  Alcotest.(check bool) "histogram count" true
+    (contains ~sub:"\"count\":1" second)
+
+(* --- flight recorder ------------------------------------------------------ *)
+
+let test_recorder_bounded () =
+  let r = Recorder.create ~capacity:10 () in
+  for i = 1 to 25 do
+    Recorder.record r ~at:(float_of_int i) ~kind:"packet" ~point:"link" "delivered"
+  done;
+  Alcotest.(check int) "count" 25 (Recorder.count r);
+  Alcotest.(check int) "retained" 10 (Recorder.retained r);
+  Alcotest.(check int) "evicted" 15 (Recorder.evicted r);
+  match Recorder.events r with
+  | first :: _ -> Alcotest.(check (float 1e-9)) "oldest retained is #16" 16.0 first.Recorder.at
+  | [] -> Alcotest.fail "no events retained"
+
+let test_recorder_severity_threshold () =
+  let r = Recorder.create ~level:Recorder.Warn () in
+  Recorder.record r ~at:0.0 ~severity:Recorder.Debug ~kind:"packet" ~point:"x" "d";
+  Recorder.record r ~at:1.0 ~severity:Recorder.Warn ~kind:"qdisc" ~point:"x" "w";
+  Recorder.record r ~at:2.0 ~severity:Recorder.Error ~kind:"app" ~point:"x" "e";
+  Alcotest.(check int) "below level discarded" 2 (Recorder.count r);
+  Alcotest.(check int) "by_kind" 1 (List.length (Recorder.by_kind r "qdisc"))
+
+let test_recorder_exports () =
+  let r = Recorder.create () in
+  Recorder.record r ~at:1.5 ~severity:Recorder.Warn ~kind:"qdisc" ~point:"fifo"
+    ~fields:[ ("flow", "3"); ("bytes", "1500") ]
+    "drop";
+  let nd = Recorder.to_ndjson ~extra:[ ("job", "j") ] r in
+  Alcotest.(check bool) "class key" true
+    (contains ~sub:"\"class\":\"qdisc\"" nd);
+  Alcotest.(check bool) "fields" true
+    (contains ~sub:"\"flow\":\"3\"" nd);
+  let csv = Recorder.to_csv r in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + row" 2 (List.length lines);
+  Alcotest.(check string) "header" "at,severity,class,point,detail,fields" (List.hd lines);
+  Alcotest.(check bool) "row fields" true
+    (contains ~sub:"flow=3;bytes=1500" (List.nth lines 1))
+
+(* --- scope ---------------------------------------------------------------- *)
+
+let test_scope_ambient_restored () =
+  Alcotest.(check bool) "default none" true (Scope.is_none (Scope.ambient ()));
+  let m = Metrics.create () in
+  let scope = Scope.v ~metrics:m () in
+  Scope.with_scope scope (fun () ->
+      Alcotest.(check bool) "inside" false (Scope.is_none (Scope.ambient ())));
+  Alcotest.(check bool) "restored" true (Scope.is_none (Scope.ambient ()));
+  (* Restored even when the body raises. *)
+  (try Scope.with_scope scope (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "restored after raise" true (Scope.is_none (Scope.ambient ()))
+
+(* --- engine profiler ------------------------------------------------------ *)
+
+let test_profiler_attribution () =
+  let p = Profile.create () in
+  let sim = Sim.create ~profile:p () in
+  ignore (Sim.schedule sim ~delay:1.0 (fun () -> Sim.set_component sim "link"));
+  ignore (Sim.schedule sim ~delay:2.0 (fun () -> Sim.set_component sim "tcp"));
+  ignore (Sim.schedule sim ~delay:3.0 (fun () -> ()));
+  Sim.run sim;
+  Alcotest.(check int) "events" 3 (Profile.events_executed p);
+  Alcotest.(check bool) "heap depth" true (Profile.max_heap_depth p >= 3);
+  let comps = List.map (fun (c, _, _) -> c) (Profile.components p) in
+  List.iter
+    (fun c -> Alcotest.(check bool) ("component " ^ c) true (List.mem c comps))
+    [ "link"; "tcp"; "other" ];
+  let json = Profile.to_json p in
+  Alcotest.(check bool) "json events" true
+    (contains ~sub:"\"events_executed\": 3" json)
+
+let test_profiler_from_ambient_scope () =
+  let p = Profile.create () in
+  Scope.with_scope
+    (Scope.v ~profile:p ())
+    (fun () ->
+      let sim = Sim.create () in
+      ignore (Sim.schedule sim ~delay:0.5 (fun () -> ()));
+      Sim.run sim);
+  Alcotest.(check int) "picked up ambient profile" 1 (Profile.events_executed p)
+
+(* --- end-to-end: instrumented scenario run -------------------------------- *)
+
+(* A congested bottleneck with a tiny FIFO, guaranteeing drops (and
+   thus loss responses) within a short run. *)
+let congested_scenario seed =
+  Scenario.make ~name:"obs-e2e" ~rate_bps:(Ccsim_util.Units.mbps 5.0) ~delay_s:0.01
+    ~qdisc:(Scenario.Fifo { limit_bytes = Some 15_000 })
+    ~duration:8.0 ~warmup:1.0 ~seed
+    [ Scenario.flow ~cca:Scenario.Cubic "a"; Scenario.flow ~cca:Scenario.Cubic "b" ]
+
+let test_instrumented_scenario () =
+  let m = Metrics.create () in
+  let r = Recorder.create () in
+  let p = Profile.create () in
+  let results =
+    Scope.with_scope
+      (Scope.v ~metrics:m ~recorder:r ~profile:p ())
+      (fun () -> Scenario.run (congested_scenario 42))
+  in
+  Alcotest.(check bool) "scenario saw drops" true (results.Results.bottleneck_drops > 0);
+  (* Metrics: the qdisc drop counter matches reality. *)
+  (match Metrics.find_counter m ~labels:[ ("qdisc", "fifo") ] "qdisc_dropped_total" with
+  | Some c -> Alcotest.(check bool) "drop counter positive" true (Metrics.value c > 0)
+  | None -> Alcotest.fail "qdisc_dropped_total not registered");
+  (match Metrics.find_counter m ~labels:[ ("qdisc", "fifo") ] "qdisc_enqueued_total" with
+  | Some c -> Alcotest.(check bool) "enqueue counter positive" true (Metrics.value c > 0)
+  | None -> Alcotest.fail "qdisc_enqueued_total not registered");
+  (match Metrics.find_counter m "link_tx_packets_total" with
+  | Some c -> Alcotest.(check bool) "link tx positive" true (Metrics.value c > 0)
+  | None -> Alcotest.fail "link_tx_packets_total not registered");
+  Alcotest.(check bool) "ndjson non-empty" true (String.length (Metrics.to_ndjson m) > 0);
+  (* Flight journal: the three headline classes are all present. *)
+  Alcotest.(check bool) "packet events" true (Recorder.by_kind r "packet" <> []);
+  Alcotest.(check bool) "qdisc drop events" true (Recorder.by_kind r "qdisc" <> []);
+  Alcotest.(check bool) "cca decision events" true (Recorder.by_kind r "cca" <> []);
+  (* Profiler: events executed, attributed beyond "other". *)
+  Alcotest.(check bool) "events executed" true (Profile.events_executed p > 0);
+  Alcotest.(check bool) "heap depth seen" true (Profile.max_heap_depth p > 0);
+  let comps = List.map (fun (c, _, _) -> c) (Profile.components p) in
+  Alcotest.(check bool) "tcp attributed" true (List.mem "tcp" comps);
+  Alcotest.(check bool) "link attributed" true (List.mem "link" comps)
+
+let test_instrumentation_does_not_change_results () =
+  let plain = Scenario.run (congested_scenario 7) in
+  let instrumented =
+    Scope.with_scope
+      (Scope.v ~metrics:(Metrics.create ()) ~recorder:(Recorder.create ())
+         ~profile:(Profile.create ()) ())
+      (fun () -> Scenario.run (congested_scenario 7))
+  in
+  Alcotest.(check int) "drops identical" plain.Results.bottleneck_drops
+    instrumented.Results.bottleneck_drops;
+  Alcotest.(check (float 1e-9)) "jain identical" plain.Results.jain_index
+    instrumented.Results.jain_index;
+  List.iter2
+    (fun (a : Results.flow_result) (b : Results.flow_result) ->
+      Alcotest.(check (float 1e-6)) ("goodput " ^ a.label) a.goodput_bps b.goodput_bps;
+      Alcotest.(check int) ("acked " ^ a.label) a.bytes_acked b.bytes_acked)
+    plain.Results.flows instrumented.Results.flows
+
+(* --- runner report embedding ---------------------------------------------- *)
+
+let test_report_embeds_profile () =
+  let job =
+    Ccsim_runner.Job.make ~name:"j1" ~digest:"d1" (fun () -> "out\n")
+  in
+  let results = Ccsim_runner.Pool.run (Ccsim_runner.Pool.config ~jobs:1 ()) [ job ] in
+  let tele = Ccsim_runner.Telemetry.make ~pool_jobs:1 ~total_wall_s:0.1 results in
+  let p = Profile.create () in
+  Profile.record p ~comp:"link" ~seconds:0.001;
+  let json =
+    Ccsim_runner.Telemetry.to_json ~profiles:[ ("j1", Profile.to_json p) ] tele
+  in
+  Alcotest.(check bool) "profile embedded" true
+    (contains ~sub:"\"profile\": {" json);
+  Alcotest.(check bool) "component embedded" true
+    (contains ~sub:"\"component\": \"link\"" json);
+  (* Unmatched job names embed nothing. *)
+  let json' = Ccsim_runner.Telemetry.to_json ~profiles:[ ("other", "{}") ] tele in
+  Alcotest.(check bool) "no stray profile" false
+    (contains ~sub:"\"profile\"" json')
+
+let suite =
+  [
+    Alcotest.test_case "metrics: counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "metrics: labels distinguish" `Quick test_labels_distinguish;
+    Alcotest.test_case "metrics: kind mismatch rejected" `Quick test_kind_mismatch_rejected;
+    Alcotest.test_case "metrics: gauge and histogram" `Quick test_gauge_and_histogram;
+    Alcotest.test_case "metrics: histogram buckets monotone" `Quick
+      test_histogram_buckets_monotone;
+    Alcotest.test_case "metrics: ndjson export" `Quick test_metrics_ndjson;
+    Alcotest.test_case "recorder: bounded memory" `Quick test_recorder_bounded;
+    Alcotest.test_case "recorder: severity threshold" `Quick test_recorder_severity_threshold;
+    Alcotest.test_case "recorder: ndjson and csv" `Quick test_recorder_exports;
+    Alcotest.test_case "scope: ambient set and restored" `Quick test_scope_ambient_restored;
+    Alcotest.test_case "profiler: per-component attribution" `Quick test_profiler_attribution;
+    Alcotest.test_case "profiler: picked up from ambient scope" `Quick
+      test_profiler_from_ambient_scope;
+    Alcotest.test_case "e2e: instrumented scenario populates all three" `Slow
+      test_instrumented_scenario;
+    Alcotest.test_case "e2e: instrumentation does not change results" `Slow
+      test_instrumentation_does_not_change_results;
+    Alcotest.test_case "runner: report embeds profiles" `Quick test_report_embeds_profile;
+  ]

@@ -161,6 +161,49 @@ let test_app_limited_accounting () =
   Alcotest.(check bool) "cwnd-limited negligible" true
     (info.cwnd_limited_s < 0.1 *. info.elapsed_s)
 
+(* --- Tcp_info ------------------------------------------------------------------ *)
+
+let info_at ?(bytes_acked = 0) ?(app_limited_s = 0.0) ?(elapsed_s = 0.0) at =
+  {
+    Tcp.Tcp_info.at;
+    bytes_acked;
+    bytes_sent = bytes_acked;
+    bytes_retrans = 0;
+    segs_retrans = 0;
+    cwnd_bytes = 0.0;
+    srtt = 0.0;
+    min_rtt = 0.0;
+    delivery_rate_bps = 0.0;
+    app_limited_s;
+    rwnd_limited_s = 0.0;
+    cwnd_limited_s = 0.0;
+    elapsed_s;
+  }
+
+let test_tcp_info_throughput_rejects_non_monotonic () =
+  let prev = info_at ~bytes_acked:1000 2.0 in
+  let err = Invalid_argument "Tcp_info.throughput_bps: snapshots out of order" in
+  (* Identical timestamps: a zero-width window has no defined rate. *)
+  Alcotest.check_raises "equal timestamps" err (fun () ->
+      ignore (Tcp.Tcp_info.throughput_bps ~prev ~cur:(info_at ~bytes_acked:2000 2.0)));
+  (* Reversed order must not return a negative rate. *)
+  Alcotest.check_raises "reversed order" err (fun () ->
+      ignore (Tcp.Tcp_info.throughput_bps ~prev ~cur:(info_at ~bytes_acked:2000 1.0)));
+  (* Sanity: a valid pair still computes. *)
+  let cur = info_at ~bytes_acked:2250 3.0 in
+  check_float "valid pair" 10_000.0 (Tcp.Tcp_info.throughput_bps ~prev ~cur)
+
+let test_tcp_info_app_limited_fraction_zero_elapsed () =
+  (* A snapshot taken at connection age zero must read 0, not NaN/inf. *)
+  let snap = info_at ~app_limited_s:0.0 ~elapsed_s:0.0 0.0 in
+  check_float "zero elapsed" 0.0 (Tcp.Tcp_info.app_limited_fraction snap);
+  let weird = info_at ~app_limited_s:1.5 ~elapsed_s:0.0 0.0 in
+  check_float "zero elapsed, nonzero numerator" 0.0
+    (Tcp.Tcp_info.app_limited_fraction weird);
+  check_float "rwnd fraction too" 0.0 (Tcp.Tcp_info.rwnd_limited_fraction weird);
+  let normal = info_at ~app_limited_s:2.0 ~elapsed_s:8.0 8.0 in
+  check_float "normal fraction" 0.25 (Tcp.Tcp_info.app_limited_fraction normal)
+
 let test_cwnd_limited_accounting () =
   let sim = Sim.create () in
   let topo = make_topo ~rate:5e6 ~delay:0.05 sim in
@@ -310,6 +353,10 @@ let suite =
     ("tcp: receiver window limits throughput", `Quick, test_rwnd_limits_throughput);
     ("tcp: app-limited accounting", `Quick, test_app_limited_accounting);
     ("tcp: cwnd-limited accounting", `Quick, test_cwnd_limited_accounting);
+    ("tcp_info: throughput rejects non-monotonic snapshots", `Quick,
+     test_tcp_info_throughput_rejects_non_monotonic);
+    ("tcp_info: app-limited fraction at zero elapsed", `Quick,
+     test_tcp_info_app_limited_fraction_zero_elapsed);
     ("tcp: pacing respected", `Quick, test_pacing_respected);
     ("tcp: teardown unregisters", `Quick, test_teardown_unregisters);
     ("tcp: write validation", `Quick, test_write_validation);
