@@ -92,6 +92,16 @@ let bench_tests =
              in
              Ccsim_obs.Scope.with_scope scope (fun () ->
                  ignore (Ccsim_core.E4_app_limited.run ~duration:8.0 ()))));
+      (* Timeline sampling + invariant watchdog overhead (the --series
+         --check path). Compare against e4_app_limited above. *)
+      Test.make ~name:"e4_app_limited_timeline_check"
+        (Staged.stage (fun () ->
+             let timeline = Ccsim_obs.Timeline.create () in
+             let watchdog = Ccsim_obs.Watchdog.create () in
+             Ccsim_obs.Watchdog.watch_timeline watchdog timeline;
+             let scope = Ccsim_obs.Scope.v ~timeline ~watchdog () in
+             Ccsim_obs.Scope.with_scope scope (fun () ->
+                 ignore (Ccsim_core.E4_app_limited.run ~duration:8.0 ()))));
     ]
 
 let run_benchmarks () =

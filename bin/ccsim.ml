@@ -60,22 +60,97 @@ let flight_arg =
 
 let profile_arg =
   let doc =
-    "Profile the event loop: per-component execution time, events/sec, peak heap depth. \
-     Summaries go to stderr; the full profile is embedded in the JSON report."
+    "Profile the event loop: per-component execution time, events/sec, simulated-vs-real \
+     speedup, peak heap depth. Summaries go to stderr; the full profile is embedded in \
+     the JSON report."
   in
   Arg.(value & flag & info [ "profile" ] ~doc)
+
+let series_arg =
+  let doc =
+    "Sample timeline series (per-flow goodput/cwnd/srtt/inflight, queue backlog and \
+     drops, Nimbus elasticity) on the simulation clock and write them to $(docv); a .csv \
+     extension selects CSV, anything else NDJSON (one point per line, analyzable offline \
+     with `ccsim analyze`)."
+  in
+  Arg.(value & opt (some string) None & info [ "series" ] ~docv:"FILE" ~doc)
+
+let series_interval_arg =
+  let doc = "Timeline sampling interval in simulated seconds." in
+  Arg.(
+    value
+    & opt float Obs.Timeline.default_interval
+    & info [ "series-interval" ] ~docv:"SECONDS" ~doc)
+
+let chrome_arg =
+  let doc =
+    "Export a Chrome trace-event file to $(docv) — timeline series as counter tracks \
+     merged with flight-recorder events — loadable in Perfetto (ui.perfetto.dev) or \
+     chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc)
+
+let check_arg =
+  let doc =
+    "Run the invariant watchdog: packet/byte conservation per link, queue backlog within \
+     capacity, positive cwnd, clock monotonicity, telemetry ordering. The first violation \
+     fails the run with a structured report."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let flight_cap_arg =
+  let doc =
+    "Flight recorder capacity: keep the most recent $(docv) events per job. Must be \
+     positive."
+  in
+  (* Reject non-positive values at parse time: Recorder.create would
+     raise the same complaint as an uncaught Invalid_argument. *)
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Ok n
+      | Some _ -> Error (`Msg "capacity must be positive")
+      | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt positive_int Obs.Recorder.default_capacity
+    & info [ "flight-rec-cap" ] ~docv:"N" ~doc)
 
 type obs_cfg = {
   metrics_path : string option;
   flight_path : string option;
   profile : bool;
+  series_path : string option;
+  series_interval : float;
+  chrome_path : string option;
+  check : bool;
+  flight_cap : int;
 }
 
 let obs_cfg_term =
-  let make metrics_path flight_path profile = { metrics_path; flight_path; profile } in
-  Term.(const make $ metrics_arg $ flight_arg $ profile_arg)
+  let make metrics_path flight_path profile series_path series_interval chrome_path check
+      flight_cap =
+    {
+      metrics_path;
+      flight_path;
+      profile;
+      series_path;
+      series_interval;
+      chrome_path;
+      check;
+      flight_cap;
+    }
+  in
+  Term.(
+    const make $ metrics_arg $ flight_arg $ profile_arg $ series_arg $ series_interval_arg
+    $ chrome_arg $ check_arg $ flight_cap_arg)
 
-let obs_enabled c = c.metrics_path <> None || c.flight_path <> None || c.profile
+let obs_enabled c =
+  c.metrics_path <> None || c.flight_path <> None || c.profile || c.series_path <> None
+  || c.chrome_path <> None || c.check
 
 (* Per-job instrument handles, harvested after the pool drains. Each job
    gets its own registry/recorder/profile (registries are not
@@ -85,17 +160,41 @@ type obs_handle = {
   j_metrics : Obs.Metrics.t option;
   j_recorder : Obs.Recorder.t option;
   j_profile : Obs.Profile.t option;
+  j_timeline : Obs.Timeline.t option;
+  j_watchdog : Obs.Watchdog.t option;
 }
 
 let wrap_thunk cfg ~name thunk =
   if not (obs_enabled cfg) then (thunk, None)
   else begin
     let metrics = if cfg.metrics_path <> None then Some (Obs.Metrics.create ()) else None in
-    let recorder = if cfg.flight_path <> None then Some (Obs.Recorder.create ()) else None in
+    let recorder =
+      if cfg.flight_path <> None || cfg.chrome_path <> None then
+        Some (Obs.Recorder.create ~capacity:cfg.flight_cap ())
+      else None
+    in
     let profile = if cfg.profile then Some (Obs.Profile.create ()) else None in
-    let scope = Obs.Scope.v ?metrics ?recorder ?profile () in
+    let timeline =
+      if cfg.series_path <> None || cfg.chrome_path <> None then
+        Some (Obs.Timeline.create ~interval:cfg.series_interval ())
+      else None
+    in
+    let watchdog = if cfg.check then Some (Obs.Watchdog.create ()) else None in
+    (match (watchdog, timeline) with
+    | Some w, Some tl -> Obs.Watchdog.watch_timeline w tl
+    | _ -> ());
+    let scope = Obs.Scope.v ?metrics ?recorder ?profile ?timeline ?watchdog () in
     let thunk () = Obs.Scope.with_scope scope thunk in
-    (thunk, Some { job_name = name; j_metrics = metrics; j_recorder = recorder; j_profile = profile })
+    ( thunk,
+      Some
+        {
+          job_name = name;
+          j_metrics = metrics;
+          j_recorder = recorder;
+          j_profile = profile;
+          j_timeline = timeline;
+          j_watchdog = watchdog;
+        } )
   end
 
 let write_file path content =
@@ -132,6 +231,39 @@ let export_obs cfg handles =
         handles;
       write_file path (Buffer.contents buf)
   | None -> ());
+  (match cfg.series_path with
+  | Some path ->
+      let csv = Filename.check_suffix path ".csv" in
+      let buf = Buffer.create 4096 in
+      List.iteri
+        (fun i h ->
+          match h.j_timeline with
+          | Some tl ->
+              let extra = [ ("job", h.job_name) ] in
+              Buffer.add_string buf
+                (if csv then Obs.Timeline.to_csv ~header:(i = 0) ~extra tl
+                 else Obs.Timeline.to_ndjson ~extra tl)
+          | None -> ())
+        handles;
+      write_file path (Buffer.contents buf)
+  | None -> ());
+  (match cfg.chrome_path with
+  | Some path ->
+      let jobs =
+        List.map (fun h -> (h.job_name, h.j_timeline, h.j_recorder)) handles
+      in
+      write_file path (Obs.Chrome_trace.to_string jobs)
+  | None -> ());
+  (if cfg.check then
+     List.iter
+       (fun h ->
+         match h.j_watchdog with
+         | Some w -> (
+             match Obs.Watchdog.violation w with
+             | Some v -> Printf.eprintf "%s%!" (Obs.Watchdog.report v)
+             | None -> ())
+         | None -> ())
+       handles);
   (if cfg.profile then
      List.iter
        (fun h ->
@@ -331,10 +463,56 @@ let sweep_cmd =
       const run $ ids_arg $ seeds_arg $ durations_arg $ jobs_arg $ no_cache_arg $ report_arg
       $ obs_cfg_term)
 
+let analyze_cmd =
+  let file_arg =
+    let doc = "NDJSON series file produced by a run with --series." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SERIES_FILE" ~doc)
+  in
+  let warmup_arg =
+    let doc = "Drop samples before this time (seconds) from elasticity classification." in
+    Arg.(value & opt float 0.0 & info [ "warmup" ] ~docv:"SECONDS" ~doc)
+  in
+  let until_arg =
+    let doc = "Drop samples after this time (seconds) from elasticity classification." in
+    Arg.(value & opt (some float) None & info [ "until" ] ~docv:"SECONDS" ~doc)
+  in
+  let threshold_arg =
+    let doc = "Elasticity p90 classification threshold (fig3's rule uses 0.5)." in
+    Arg.(value & opt float 0.5 & info [ "threshold" ] ~docv:"X" ~doc)
+  in
+  let shift_threshold_arg =
+    let doc =
+      "Minimum largest-shift / mean ratio for a change-point verdict of \
+       contention-consistent (fig2's rule uses 0.2)."
+    in
+    Arg.(value & opt float 0.2 & info [ "shift-threshold" ] ~docv:"X" ~doc)
+  in
+  let run file warmup until threshold shift_threshold =
+    match Ccsim_measure.Offline.load file with
+    | exception Sys_error msg ->
+        Printf.eprintf "ccsim analyze: %s\n" msg;
+        exit 124
+    | exception Ccsim_measure.Offline.Parse_error msg ->
+        Printf.eprintf "ccsim analyze: %s: %s\n" file msg;
+        exit 124
+    | series ->
+        print_string
+          (Ccsim_measure.Offline.render ~warmup ?hi:until ~threshold ~shift_threshold
+             series);
+        exit 0
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Re-run the change-point and elasticity detectors offline over a --series \
+          recording; on a same-seed recording this reproduces the in-sim verdicts")
+    Term.(
+      const run $ file_arg $ warmup_arg $ until_arg $ threshold_arg $ shift_threshold_arg)
+
 let main =
   let doc = "reproduce 'How I Learned to Stop Worrying About CCA Contention' (HotNets '23)" in
   Cmd.group
     (Cmd.info "ccsim" ~version:"1.0.0" ~doc)
-    (List.map exp_cmd E.all @ [ all_cmd; sweep_cmd; list_cmd ])
+    (List.map exp_cmd E.all @ [ all_cmd; sweep_cmd; analyze_cmd; list_cmd ])
 
 let () = exit (Cmd.eval main)

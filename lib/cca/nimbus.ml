@@ -56,6 +56,11 @@ let create sim ?(mss = U.Units.mss) ?(pulse_freq_hz = 5.0) ?(pulse_amplitude = 0
   let cross_series = U.Timeseries.create () in
   let latest_elasticity = ref 0.0 in
   let scope = Ccsim_obs.Scope.ambient () in
+  (* Exact mirror of the elasticity estimates into the run's timeline
+     (one point per estimation epoch, far below the decimation
+     threshold), so offline analysis of an exported series reproduces
+     the in-simulation classification bit-for-bit. *)
+  let tl_elasticity = Sim.timeline_series sim "nimbus_elasticity" in
   let m_switches =
     Option.map
       (fun m ->
@@ -149,6 +154,9 @@ let create sim ?(mss = U.Units.mss) ?(pulse_freq_hz = 5.0) ?(pulse_amplitude = 0
         let e = !best /. denom in
         latest_elasticity := e;
         U.Timeseries.add elasticity_series ~time:now ~value:e;
+        (match tl_elasticity with
+        | Some s -> Ccsim_obs.Timeline.record s ~time:now ~value:e
+        | None -> ());
         if mode_switching then
           match !mode with
           | `Delay when e > elastic_threshold ->

@@ -9,6 +9,27 @@ type output = {
 let run ?(n = 9984) ?(seed = 42) () =
   let rng = U.Rng.create seed in
   let records = M.Ndt.generate ~rng ~n () in
+  (* Mirror each contention candidate's throughput trace into the
+     ambient timeline (exact values, one series per flow), so `ccsim
+     analyze` can rerun the change-point detector offline over a
+     `--series` export and reproduce this run's verdicts. *)
+  (match (Ccsim_obs.Scope.ambient ()).Ccsim_obs.Scope.timeline with
+  | Some tl ->
+      List.iter
+        (fun (r : M.Ndt.record) ->
+          if M.Mlab_analysis.categorize r = M.Mlab_analysis.Candidate then begin
+            let s =
+              Ccsim_obs.Timeline.series tl
+                ~labels:[ ("flow", string_of_int r.id) ]
+                "ndt_throughput_mbps"
+            in
+            Array.iteri
+              (fun i v ->
+                Ccsim_obs.Timeline.record s ~time:(float_of_int i *. r.interval_s) ~value:v)
+              r.throughput_mbps
+          end)
+        records
+  | None -> ());
   let report = M.Mlab_analysis.analyze records in
   { report; accuracy = M.Mlab_analysis.score_against_ground_truth report }
 

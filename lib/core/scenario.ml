@@ -148,6 +148,9 @@ type live = {
 
 let run t =
   let sim = Sim.create () in
+  (* Every timeline series this scenario's components register carries
+     the scenario name, so multi-scenario jobs (fig3) stay separable. *)
+  Sim.add_timeline_tags sim [ ("scenario", t.name) ];
   let rng = U.Rng.create t.seed in
   let qdisc = build_qdisc sim t.qdisc in
   let specs = Array.of_list t.flows in
@@ -213,7 +216,7 @@ let run t =
             ?rcv_buffer_bytes:spec.rcv_buffer_bytes ?consume_rate_bps:spec.consume_rate_bps ()
         in
         let monitor =
-          Measure.Telemetry.Flow_monitor.create sim ~sender:conn.sender
+          Measure.Telemetry.Flow_monitor.create sim ~sender:conn.sender ~label:spec.label
             ~interval:t.monitor_interval ()
         in
         let live =

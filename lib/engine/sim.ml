@@ -1,26 +1,102 @@
+module Obs = Ccsim_obs
+
 type event_id = Event_heap.id
 
 type t = {
   heap : (unit -> unit) Event_heap.t;
   mutable clock : float;
   mutable stopped : bool;
-  profile : Ccsim_obs.Profile.t option;
+  profile : Obs.Profile.t option;
   mutable component : string;
       (* label the in-flight event callback charges its execution to;
          reset to "other" before each event when profiling *)
+  timeline : Obs.Timeline.t option;
+  watchdog : Obs.Watchdog.t option;
+  mutable tl_tags : (string * string) list;
+      (* labels appended to every series this sim registers, e.g.
+         [("sim", "2"); ("scenario", "fig3/bbr bulk")] *)
+  mutable probes : (Obs.Timeline.series * (unit -> float)) list;  (* newest first *)
+  mutable driver_pending : int;  (* scheduled observability driver ticks *)
 }
 
-let create ?profile () =
-  let profile =
-    match profile with
-    | Some _ -> profile
-    | None -> (Ccsim_obs.Scope.ambient ()).Ccsim_obs.Scope.profile
+(* Periodic observability drivers must never keep the run alive on their
+   own: a tick reschedules itself only while a non-driver event remains
+   (events only beget events, so a heap holding nothing but driver ticks
+   is done). [driver_pending] counts the scheduled ticks so the timeline
+   and watchdog drivers do not keep each other alive either. *)
+let install_driver t ~interval ~comp f =
+  let rec tick () =
+    t.driver_pending <- t.driver_pending - 1;
+    t.component <- comp;
+    f ();
+    if Event_heap.size t.heap > t.driver_pending then begin
+      t.driver_pending <- t.driver_pending + 1;
+      ignore (Event_heap.add t.heap ~time:(t.clock +. interval) tick)
+    end
   in
-  { heap = Event_heap.create (); clock = 0.0; stopped = false; profile; component = "other" }
+  t.driver_pending <- t.driver_pending + 1;
+  ignore (Event_heap.add t.heap ~time:(t.clock +. interval) tick)
+
+let sample_probes t () =
+  List.iter
+    (fun (s, probe) -> Obs.Timeline.record s ~time:t.clock ~value:(probe ()))
+    (List.rev t.probes)
+
+let create ?profile ?timeline ?watchdog () =
+  let scope = Obs.Scope.ambient () in
+  let profile = match profile with Some _ -> profile | None -> scope.Obs.Scope.profile in
+  let timeline =
+    match timeline with Some _ -> timeline | None -> scope.Obs.Scope.timeline
+  in
+  let watchdog =
+    match watchdog with Some _ -> watchdog | None -> scope.Obs.Scope.watchdog
+  in
+  let tl_tags =
+    match timeline with
+    | None -> []
+    | Some tl -> [ ("sim", string_of_int (Obs.Timeline.next_sim_id tl)) ]
+  in
+  let t =
+    {
+      heap = Event_heap.create ();
+      clock = 0.0;
+      stopped = false;
+      profile;
+      component = "other";
+      timeline;
+      watchdog;
+      tl_tags;
+      probes = [];
+      driver_pending = 0;
+    }
+  in
+  (match timeline with
+  | Some tl -> install_driver t ~interval:(Obs.Timeline.interval tl) ~comp:"timeline" (sample_probes t)
+  | None -> ());
+  (match watchdog with
+  | Some w ->
+      install_driver t ~interval:(Obs.Watchdog.interval w) ~comp:"watchdog" (fun () ->
+          Obs.Watchdog.check_now w ~now:t.clock)
+  | None -> ());
+  t
 
 let now t = t.clock
 let profile t = t.profile
+let timeline t = t.timeline
+let watchdog t = t.watchdog
 let set_component t name = t.component <- name
+
+let add_timeline_tags t tags = t.tl_tags <- tags @ t.tl_tags
+
+let timeline_series t ?(labels = []) name =
+  Option.map
+    (fun tl -> Obs.Timeline.series tl ~labels:(labels @ t.tl_tags) name)
+    t.timeline
+
+let add_timeline_probe t ?labels name probe =
+  match timeline_series t ?labels name with
+  | None -> ()
+  | Some s -> t.probes <- (s, probe) :: t.probes
 
 let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Sim.schedule_at: time precedes the clock";
@@ -36,11 +112,18 @@ let step t =
   match Event_heap.pop t.heap with
   | None -> false
   | Some (time, f) ->
+      (match t.watchdog with
+      | Some w when time < t.clock ->
+          Obs.Watchdog.violate w ~now:t.clock ~component:"engine"
+            ~invariant:"time_monotonicity"
+            (Printf.sprintf "event at t=%.9f precedes the clock at t=%.9f" time t.clock)
+      | Some _ | None -> ());
       t.clock <- time;
       (match t.profile with
       | None -> f ()
       | Some p ->
           Ccsim_obs.Profile.note_heap_depth p (Event_heap.size t.heap + 1);
+          Ccsim_obs.Profile.note_sim_time p time;
           t.component <- "other";
           let t0 = Unix.gettimeofday () in
           f ();
@@ -60,7 +143,15 @@ let run ?until t =
   done;
   (match until with
   | Some u when t.clock < u && not t.stopped -> t.clock <- u
-  | Some _ | None -> ())
+  | Some _ | None -> ());
+  (match t.profile with
+  | Some p -> Ccsim_obs.Profile.note_sim_time p t.clock
+  | None -> ());
+  (* A final sweep so violations between the last periodic check and the
+     end of the run still fail it. *)
+  match t.watchdog with
+  | Some w -> Obs.Watchdog.check_now w ~now:t.clock
+  | None -> ()
 
 let pending t = Event_heap.size t.heap
 let stop t = t.stopped <- true

@@ -8,18 +8,56 @@ type t
 
 type event_id
 
-val create : ?profile:Ccsim_obs.Profile.t -> unit -> t
-(** With [profile] (explicit, or inherited from the ambient
-    {!Ccsim_obs.Scope} when omitted), every executed event is timed and
-    charged to the component label its callback declares via
-    {!set_component}, and the peak heap depth is tracked. Without one,
-    the event loop is unchanged — no timing, no allocation. *)
+val create :
+  ?profile:Ccsim_obs.Profile.t ->
+  ?timeline:Ccsim_obs.Timeline.t ->
+  ?watchdog:Ccsim_obs.Watchdog.t ->
+  unit ->
+  t
+(** Each instrument is taken explicitly or inherited from the ambient
+    {!Ccsim_obs.Scope} when omitted.
+
+    With [profile], every executed event is timed and charged to the
+    component label its callback declares via {!set_component}, and the
+    peak heap depth and furthest simulated clock are tracked.
+
+    With [timeline], the sim tags its series with a fresh ["sim"] id,
+    and a periodic driver (at {!Ccsim_obs.Timeline.interval}) samples
+    every probe registered via {!add_timeline_probe}.
+
+    With [watchdog], a periodic driver (at
+    {!Ccsim_obs.Watchdog.interval}) sweeps the registered invariant
+    checks, {!step} verifies clock monotonicity, and {!run} performs a
+    final sweep before returning — raising
+    {!Ccsim_obs.Watchdog.Violation} on the first broken invariant.
+
+    Observability drivers reschedule themselves only while non-driver
+    events remain, so they never keep an otherwise-drained run alive.
+    Without instruments, the event loop is unchanged — no timing, no
+    allocation. *)
 
 val now : t -> float
 (** Current virtual time in seconds (0 at creation). *)
 
 val profile : t -> Ccsim_obs.Profile.t option
 (** The attached engine profile, if any. *)
+
+val timeline : t -> Ccsim_obs.Timeline.t option
+val watchdog : t -> Ccsim_obs.Watchdog.t option
+
+val add_timeline_tags : t -> (string * string) list -> unit
+(** Prepend labels to every series this sim registers from now on (e.g.
+    the scenario name). No-op without a timeline (the tags are stored
+    but never used). *)
+
+val timeline_series : t -> ?labels:Ccsim_obs.Timeline.labels -> string -> Ccsim_obs.Timeline.series option
+(** Register (or fetch) a series carrying this sim's tags, for
+    components that record exact points directly. [None] without a
+    timeline. *)
+
+val add_timeline_probe : t -> ?labels:Ccsim_obs.Timeline.labels -> string -> (unit -> float) -> unit
+(** Register a gauge-style probe sampled by the timeline driver every
+    {!Ccsim_obs.Timeline.interval} seconds. No-op without a timeline. *)
 
 val set_component : t -> string -> unit
 (** Called (with a literal label) at the top of a component's event

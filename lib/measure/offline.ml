@@ -1,0 +1,442 @@
+module U = Ccsim_util
+
+(* Offline analysis over exported timeline files: parse `--series`
+   NDJSON back into series and rerun the lib/measure detectors over
+   them. Floats are exported with round-trip precision, so the offline
+   verdicts reproduce the in-simulation ones bit-for-bit. *)
+
+type series = {
+  job : string option;
+  name : string;
+  labels : (string * string) list;
+  times : float array;
+  values : float array;
+}
+
+(* --- a minimal JSON reader (objects, strings, numbers, the rest) ------- *)
+
+exception Parse_error of string
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Obj of (string * json) list
+  | Arr of json list
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape";
+           match s.[!pos] with
+           | '"' -> Buffer.add_char buf '"'; advance ()
+           | '\\' -> Buffer.add_char buf '\\'; advance ()
+           | '/' -> Buffer.add_char buf '/'; advance ()
+           | 'b' -> Buffer.add_char buf '\b'; advance ()
+           | 'f' -> Buffer.add_char buf '\012'; advance ()
+           | 'n' -> Buffer.add_char buf '\n'; advance ()
+           | 'r' -> Buffer.add_char buf '\r'; advance ()
+           | 't' -> Buffer.add_char buf '\t'; advance ()
+           | 'u' ->
+               advance ();
+               if !pos + 4 > n then fail "truncated \\u escape";
+               let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+               pos := !pos + 4;
+               (* UTF-8 encode the basic-plane code point. *)
+               if code < 0x80 then Buffer.add_char buf (Char.chr code)
+               else if code < 0x800 then begin
+                 Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                 Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+               end
+               else begin
+                 Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                 Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                 Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+               end
+           | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          loop ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> Num v
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((key, v) :: acc)
+            | _ -> fail "expected , or } in object"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ] in array"
+          in
+          Arr (elements [])
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing content";
+  v
+
+let json_of_string = parse_json
+
+(* --- NDJSON ingestion --------------------------------------------------- *)
+
+type builder = {
+  b_job : string option;
+  b_name : string;
+  b_labels : (string * string) list;
+  mutable b_times : float list;  (* newest first *)
+  mutable b_values : float list;
+  mutable b_len : int;
+}
+
+let of_string content =
+  let table : (string, builder) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let line_no = ref 0 in
+  String.split_on_char '\n' content
+  |> List.iter (fun line ->
+         incr line_no;
+         if String.trim line <> "" then begin
+           let fields =
+             match parse_json line with
+             | Obj fields -> fields
+             | _ -> raise (Parse_error (Printf.sprintf "line %d: not a JSON object" !line_no))
+             | exception Parse_error msg ->
+                 raise (Parse_error (Printf.sprintf "line %d: %s" !line_no msg))
+           in
+           let str_field k =
+             match List.assoc_opt k fields with Some (Str s) -> Some s | _ -> None
+           in
+           let num_field k =
+             match List.assoc_opt k fields with Some (Num v) -> Some v | _ -> None
+           in
+           match (str_field "series", num_field "t", num_field "v") with
+           | None, _, _ | _, None, _ ->
+               raise
+                 (Parse_error
+                    (Printf.sprintf "line %d: missing \"series\" or \"t\" field" !line_no))
+           | Some _, Some _, None -> ()  (* null/non-numeric value: skip the point *)
+           | Some name, Some t, Some v ->
+               let job = str_field "job" in
+               let labels =
+                 match List.assoc_opt "labels" fields with
+                 | Some (Obj pairs) ->
+                     List.filter_map
+                       (fun (k, v) -> match v with Str s -> Some (k, s) | _ -> None)
+                       pairs
+                 | _ -> []
+               in
+               let key =
+                 String.concat "\x00"
+                   ((match job with Some j -> j | None -> "")
+                   :: name
+                   :: List.concat_map (fun (k, v) -> [ k; v ]) labels)
+               in
+               let b =
+                 match Hashtbl.find_opt table key with
+                 | Some b -> b
+                 | None ->
+                     let b =
+                       {
+                         b_job = job;
+                         b_name = name;
+                         b_labels = labels;
+                         b_times = [];
+                         b_values = [];
+                         b_len = 0;
+                       }
+                     in
+                     Hashtbl.add table key b;
+                     order := b :: !order;
+                     b
+               in
+               b.b_times <- t :: b.b_times;
+               b.b_values <- v :: b.b_values;
+               b.b_len <- b.b_len + 1
+         end);
+  List.rev_map
+    (fun b ->
+      let times = Array.make b.b_len 0.0 and values = Array.make b.b_len 0.0 in
+      List.iteri (fun i t -> times.(b.b_len - 1 - i) <- t) b.b_times;
+      List.iteri (fun i v -> values.(b.b_len - 1 - i) <- v) b.b_values;
+      { job = b.b_job; name = b.b_name; labels = b.b_labels; times; values })
+    !order
+
+let load path =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string content
+
+let filter t ~name = List.filter (fun s -> s.name = name) t
+
+let flow_id s =
+  match
+    ( List.assoc_opt "flow" s.labels,
+      List.assoc_opt "scenario" s.labels,
+      List.assoc_opt "sim" s.labels )
+  with
+  | Some f, _, _ -> f
+  | None, Some sc, _ -> sc
+  | None, None, Some sim -> "sim " ^ sim
+  | None, None, None -> s.name
+
+(* --- change-point analysis (fig2's detector, offline) ------------------- *)
+
+type changepoint_row = {
+  cp_series : series;
+  change_points : int list;
+  largest_shift : float;
+  mean : float;
+  contention_consistent : bool;
+}
+
+(* Mirrors [Mlab_analysis.analyze_record]'s Candidate branch exactly:
+   PELT over the per-interval throughput, contention-consistent when the
+   largest level shift is at least [shift_threshold] of the mean. *)
+let changepoint_of ?(shift_threshold = 0.2) s =
+  let changes = Changepoint.pelt s.values in
+  let shift = Changepoint.largest_shift s.values changes in
+  let mean = if Array.length s.values = 0 then 0.0 else U.Stats.mean s.values in
+  {
+    cp_series = s;
+    change_points = changes;
+    largest_shift = shift;
+    mean;
+    contention_consistent = changes <> [] && shift /. Float.max 1e-9 mean >= shift_threshold;
+  }
+
+(* --- elasticity classification (fig3's rule, offline) ------------------- *)
+
+type elasticity_row = {
+  el_series : series;
+  samples : int;
+  mean_elasticity : float;
+  p90_elasticity : float;
+  classified_elastic : bool;
+}
+
+(* Mirrors fig3: p90 of the steady-state elasticity samples (inclusive
+   [warmup, hi] window, matching [Timeseries.between]) against the
+   elastic threshold. *)
+let elasticity_of ?(warmup = 0.0) ?(hi = infinity) ?(threshold = 0.5) s =
+  let values =
+    Array.to_list (Array.mapi (fun i t -> (t, s.values.(i))) s.times)
+    |> List.filter (fun (t, _) -> t >= warmup && t <= hi)
+    |> List.map snd |> Array.of_list
+  in
+  let samples = Array.length values in
+  let mean_e = if samples = 0 then 0.0 else U.Stats.mean values in
+  let p90 = if samples = 0 then 0.0 else U.Stats.percentile values 90.0 in
+  {
+    el_series = s;
+    samples;
+    mean_elasticity = mean_e;
+    p90_elasticity = p90;
+    classified_elastic = p90 > threshold;
+  }
+
+(* --- report ------------------------------------------------------------- *)
+
+let ndt_series_name = "ndt_throughput_mbps"
+let elasticity_series_name = "nimbus_elasticity"
+
+let render ?(warmup = 0.0) ?(hi = infinity) ?(threshold = 0.5) ?shift_threshold t =
+  let buf = Buffer.create 1024 in
+  let points = List.fold_left (fun acc s -> acc + Array.length s.times) 0 t in
+  Printf.bprintf buf "offline analysis: %d series, %d points\n" (List.length t) points;
+  (match filter t ~name:elasticity_series_name with
+  | [] -> ()
+  | rows ->
+      Buffer.add_string buf "\nelasticity (nimbus_elasticity series, fig3 rule):\n";
+      let table =
+        U.Table.create
+          ~columns:
+            [
+              ("series", U.Table.Left);
+              ("samples", U.Table.Right);
+              ("mean", U.Table.Right);
+              ("p90", U.Table.Right);
+              ("classified", U.Table.Left);
+            ]
+      in
+      List.iter
+        (fun s ->
+          let r = elasticity_of ~warmup ~hi ~threshold s in
+          U.Table.add_row table
+            [
+              flow_id s;
+              string_of_int r.samples;
+              U.Table.cell_f r.mean_elasticity;
+              U.Table.cell_f r.p90_elasticity;
+              (if r.classified_elastic then "elastic" else "inelastic");
+            ])
+        rows;
+      Buffer.add_string buf (U.Table.render table));
+  (match filter t ~name:ndt_series_name with
+  | [] -> ()
+  | rows ->
+      let verdicts = List.map (changepoint_of ?shift_threshold) rows in
+      let consistent =
+        List.length (List.filter (fun v -> v.contention_consistent) verdicts)
+      in
+      Printf.bprintf buf
+        "\nchange points (%s series, fig2 rule): %d candidate flows, %d contention-consistent\n"
+        ndt_series_name (List.length verdicts) consistent;
+      let table =
+        U.Table.create
+          ~columns:
+            [
+              ("flow", U.Table.Left);
+              ("points", U.Table.Right);
+              ("changes", U.Table.Right);
+              ("shift/mean", U.Table.Right);
+              ("verdict", U.Table.Left);
+            ]
+      in
+      List.iter
+        (fun v ->
+          U.Table.add_row table
+            [
+              flow_id v.cp_series;
+              string_of_int (Array.length v.cp_series.values);
+              string_of_int (List.length v.change_points);
+              U.Table.cell_f (v.largest_shift /. Float.max 1e-9 v.mean);
+              (if v.contention_consistent then "contention-consistent" else "stable");
+            ])
+        verdicts;
+      Buffer.add_string buf (U.Table.render table));
+  let other =
+    List.filter (fun s -> s.name <> ndt_series_name && s.name <> elasticity_series_name) t
+  in
+  (match other with
+  | [] -> ()
+  | rows ->
+      Printf.bprintf buf "\nother series:\n";
+      let table =
+        U.Table.create
+          ~columns:
+            [
+              ("series", U.Table.Left);
+              ("points", U.Table.Right);
+              ("mean", U.Table.Right);
+              ("min", U.Table.Right);
+              ("max", U.Table.Right);
+            ]
+      in
+      List.iter
+        (fun s ->
+          let n = Array.length s.values in
+          let mean = if n = 0 then 0.0 else U.Stats.mean s.values in
+          let mn = Array.fold_left Float.min infinity s.values in
+          let mx = Array.fold_left Float.max neg_infinity s.values in
+          let label_cell =
+            String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) s.labels)
+          in
+          let id = if label_cell = "" then s.name else s.name ^ "{" ^ label_cell ^ "}" in
+          U.Table.add_row table
+            [
+              id;
+              string_of_int n;
+              U.Table.cell_f mean;
+              U.Table.cell_f (if n = 0 then 0.0 else mn);
+              U.Table.cell_f (if n = 0 then 0.0 else mx);
+            ])
+        rows;
+      Buffer.add_string buf (U.Table.render table));
+  Buffer.contents buf

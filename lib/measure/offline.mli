@@ -1,0 +1,85 @@
+(** Offline analysis of exported timeline series.
+
+    Parses a `--series` NDJSON file back into series and reruns the
+    lib/measure detectors over them: the Fig 2 change-point rule
+    ({!Changepoint.pelt} + largest level shift vs mean) on NDT
+    throughput traces, and the Fig 3 elasticity rule (steady-state p90
+    vs threshold) on Nimbus elasticity series. Timeline floats are
+    exported with round-trip precision, so the offline verdicts match
+    the in-simulation ones exactly. *)
+
+type series = {
+  job : string option;
+  name : string;
+  labels : (string * string) list;
+  times : float array;
+  values : float array;
+}
+
+exception Parse_error of string
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Obj of (string * json) list
+  | Arr of json list
+
+val json_of_string : string -> json
+(** Parse one complete JSON value (the reader behind {!of_string}, also
+    handy for validating whole-document exports such as Chrome traces).
+    Raises {!Parse_error}. *)
+
+val of_string : string -> series list
+(** Parse NDJSON content (one [{"series", "labels", "t", "v"}] object
+    per line; blank lines ignored; points with a null ["v"] skipped).
+    Series appear in first-occurrence order, points in line order.
+    Raises {!Parse_error} (with a line number) on malformed input. *)
+
+val load : string -> series list
+(** {!of_string} over a file's contents. *)
+
+val filter : series list -> name:string -> series list
+
+val ndt_series_name : string
+(** ["ndt_throughput_mbps"] — recorded by fig2 for candidate flows. *)
+
+val elasticity_series_name : string
+(** ["nimbus_elasticity"] — recorded by the Nimbus CCA. *)
+
+type changepoint_row = {
+  cp_series : series;
+  change_points : int list;
+  largest_shift : float;
+  mean : float;
+  contention_consistent : bool;
+}
+
+val changepoint_of : ?shift_threshold:float -> series -> changepoint_row
+(** The Fig 2 Candidate rule over one series' values:
+    [Changepoint.pelt], largest level shift, and
+    [contention_consistent] when the shift is at least
+    [shift_threshold] (default 0.2) of the mean. *)
+
+type elasticity_row = {
+  el_series : series;
+  samples : int;
+  mean_elasticity : float;
+  p90_elasticity : float;
+  classified_elastic : bool;
+}
+
+val elasticity_of :
+  ?warmup:float -> ?hi:float -> ?threshold:float -> series -> elasticity_row
+(** The Fig 3 rule over one series: p90 of samples with
+    [warmup <= t <= hi] (inclusive, matching [Timeseries.between]);
+    elastic when p90 exceeds [threshold] (default 0.5). *)
+
+val render :
+  ?warmup:float -> ?hi:float -> ?threshold:float -> ?shift_threshold:float ->
+  series list -> string
+(** Human-readable report: an elasticity table for
+    {!elasticity_series_name} series, a change-point table for
+    {!ndt_series_name} series, and summary statistics for everything
+    else. *)

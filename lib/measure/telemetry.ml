@@ -12,9 +12,38 @@ module Flow_monitor = struct
     mutable last_time : float;
   }
 
-  let create sim ~sender ?(interval = 0.1) () =
+  let create sim ~sender ?label ?(interval = 0.1) () =
     if interval <= 0.0 then
       invalid_arg "Telemetry.Flow_monitor.create: interval must be positive";
+    (* Per-flow timeline probes, sampled by the engine's timeline driver
+       (no-ops without a timeline in scope). Goodput is the acked-byte
+       delta between driver ticks. *)
+    let labels =
+      [
+        ( "flow",
+          match label with
+          | Some l -> l
+          | None -> string_of_int (Ccsim_tcp.Sender.flow sender) );
+      ]
+    in
+    let probe_acked = ref (Ccsim_tcp.Sender.bytes_acked sender) in
+    let probe_time = ref (Sim.now sim) in
+    Sim.add_timeline_probe sim ~labels "flow_goodput_bps" (fun () ->
+        let now = Sim.now sim in
+        let acked = Ccsim_tcp.Sender.bytes_acked sender in
+        let dt = now -. !probe_time in
+        let rate =
+          if dt > 0.0 then float_of_int (acked - !probe_acked) *. 8.0 /. dt else 0.0
+        in
+        probe_acked := acked;
+        probe_time := now;
+        rate);
+    Sim.add_timeline_probe sim ~labels "flow_cwnd_bytes" (fun () ->
+        (Ccsim_tcp.Sender.cca sender).Ccsim_cca.Cca.cwnd);
+    Sim.add_timeline_probe sim ~labels "flow_srtt_s" (fun () ->
+        Ccsim_tcp.Sender.srtt sender);
+    Sim.add_timeline_probe sim ~labels "flow_inflight_bytes" (fun () ->
+        float_of_int (Ccsim_tcp.Sender.inflight sender));
     let t =
       {
         acked = U.Timeseries.create ();
@@ -55,6 +84,11 @@ module Queue_monitor = struct
   let create sim ~qdisc ?(interval = 0.01) () =
     if interval <= 0.0 then
       invalid_arg "Telemetry.Queue_monitor.create: interval must be positive";
+    let labels = [ ("queue", qdisc.Ccsim_net.Qdisc.name) ] in
+    Sim.add_timeline_probe sim ~labels "queue_backlog_bytes" (fun () ->
+        float_of_int (qdisc.Ccsim_net.Qdisc.backlog_bytes ()));
+    Sim.add_timeline_probe sim ~labels "queue_drops_total" (fun () ->
+        float_of_int qdisc.Ccsim_net.Qdisc.stats.dropped);
     let t = { backlog = U.Timeseries.create () } in
     Sim.every sim ~interval (fun () ->
         Sim.set_component sim "telemetry";

@@ -4,10 +4,18 @@ module Flow_monitor : sig
   type t
 
   val create :
-    Ccsim_engine.Sim.t -> sender:Ccsim_tcp.Sender.t -> ?interval:float -> unit -> t
+    Ccsim_engine.Sim.t ->
+    sender:Ccsim_tcp.Sender.t ->
+    ?label:string ->
+    ?interval:float ->
+    unit ->
+    t
   (** Samples the sender every [interval] (default 100 ms): cumulative
       acked bytes, cwnd, srtt. Raises [Invalid_argument] if [interval]
-      is not positive. *)
+      is not positive. When the sim carries a timeline, also registers
+      per-flow probes ([flow_goodput_bps], [flow_cwnd_bytes],
+      [flow_srtt_s], [flow_inflight_bytes]) labelled with [label]
+      (default: the sender's flow id). *)
 
   val throughput : t -> Ccsim_util.Timeseries.t
   (** Per-interval goodput in bit/s, derived from acked-byte deltas. *)
@@ -24,7 +32,9 @@ module Queue_monitor : sig
 
   val create : Ccsim_engine.Sim.t -> qdisc:Ccsim_net.Qdisc.t -> ?interval:float -> unit -> t
   (** Samples backlog every [interval] (default 10 ms). Raises
-      [Invalid_argument] if [interval] is not positive. *)
+      [Invalid_argument] if [interval] is not positive. When the sim
+      carries a timeline, also registers [queue_backlog_bytes] and
+      [queue_drops_total] probes labelled with the qdisc name. *)
 
   val backlog_bytes : t -> Ccsim_util.Timeseries.t
   val mean_backlog_bytes : t -> float

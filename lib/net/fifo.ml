@@ -8,6 +8,21 @@ let create ?(limit_bytes = default_limit_bytes) ?limit_packets () =
   let queue : Packet.t Queue.t = Queue.create () in
   let bytes = ref 0 in
   let stats = Qdisc.make_stats () in
+  (match (Ccsim_obs.Scope.ambient ()).Ccsim_obs.Scope.watchdog with
+  | Some w ->
+      Ccsim_obs.Watchdog.register w ~component:"qdisc:fifo" ~invariant:"backlog_capacity"
+        (fun () ->
+          if !bytes < 0 then Some (Printf.sprintf "negative backlog: %d bytes" !bytes)
+          else if !bytes > limit_bytes then
+            Some (Printf.sprintf "backlog %d bytes exceeds the %d-byte limit" !bytes limit_bytes)
+          else
+            match limit_packets with
+            | Some p when Queue.length queue > p ->
+                Some
+                  (Printf.sprintf "backlog %d packets exceeds the %d-packet limit"
+                     (Queue.length queue) p)
+            | Some _ | None -> None)
+  | None -> ());
   let enqueue (pkt : Packet.t) =
     let over_packets =
       match limit_packets with Some p -> Queue.length queue >= p | None -> false

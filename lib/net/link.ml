@@ -22,6 +22,17 @@ let no_obs =
     rate_changes = None;
   }
 
+(* Watchdog conservation state: transmission starts and completions are
+   counted at their two distinct event sites (dequeue vs delivery), so
+   corrupting either side — or the public [bytes_delivered] aggregate —
+   breaks an invariant instead of going unnoticed. *)
+type wd = {
+  mutable tx_started_pkts : int;
+  mutable tx_started_bytes : int;
+  mutable wd_delivered_pkts : int;
+  mutable wd_delivered_bytes : int;
+}
+
 type t = {
   sim : Ccsim_engine.Sim.t;
   mutable rate_bps : float;
@@ -32,6 +43,7 @@ type t = {
   mutable busy_seconds : float;
   mutable bytes_delivered : int;
   obs : obs;
+  wd : wd option;
 }
 
 let create sim ~rate_bps ~delay_s ?qdisc ~sink () =
@@ -63,17 +75,67 @@ let create sim ~rate_bps ~delay_s ?qdisc ~sink () =
         }
   in
   (match obs.rate_g with Some g -> Obs.Metrics.set g rate_bps | None -> ());
-  {
-    sim;
-    rate_bps;
-    delay_s;
-    qdisc;
-    sink;
-    busy = false;
-    busy_seconds = 0.0;
-    bytes_delivered = 0;
-    obs;
-  }
+  let wd =
+    Option.map
+      (fun _ ->
+        { tx_started_pkts = 0; tx_started_bytes = 0; wd_delivered_pkts = 0; wd_delivered_bytes = 0 })
+      scope.Obs.Scope.watchdog
+  in
+  let t =
+    {
+      sim;
+      rate_bps;
+      delay_s;
+      qdisc;
+      sink;
+      busy = false;
+      busy_seconds = 0.0;
+      bytes_delivered = 0;
+      obs;
+      wd;
+    }
+  in
+  (match (scope.Obs.Scope.watchdog, wd) with
+  | Some w, Some wd ->
+      (* Qdisc conservation: packets enqueued either left through
+         dequeue, still sit in the backlog, or were dropped internally
+         (CoDel/RED-style head drops); tail drops are never counted as
+         enqueued, so the residue is bounded by the drop count. *)
+      Obs.Watchdog.register w
+        ~component:("link/qdisc:" ^ qdisc.Qdisc.name)
+        ~invariant:"packet_conservation"
+        (fun () ->
+          let st = t.qdisc.Qdisc.stats in
+          let backlog = t.qdisc.Qdisc.backlog_packets () in
+          let residue = st.enqueued - st.dequeued - backlog in
+          if residue < 0 || residue > st.dropped then
+            Some
+              (Printf.sprintf
+                 "enqueued=%d, dequeued=%d, backlog=%d, dropped=%d: residue %d outside [0, dropped]"
+                 st.enqueued st.dequeued backlog st.dropped residue)
+          else None);
+      (* Wire conservation: the link serializes one packet at a time, so
+         transmissions started and deliveries completed differ by at
+         most the packet on the wire. *)
+      Obs.Watchdog.register w ~component:"link" ~invariant:"packet_conservation" (fun () ->
+          let in_flight = wd.tx_started_pkts - wd.wd_delivered_pkts in
+          if in_flight < 0 || in_flight > 1 then
+            Some
+              (Printf.sprintf "tx_started=%d, delivered=%d: %d packet(s) on a one-packet wire"
+                 wd.tx_started_pkts wd.wd_delivered_pkts in_flight)
+          else None);
+      Obs.Watchdog.register w ~component:"link" ~invariant:"byte_conservation" (fun () ->
+          if wd.wd_delivered_bytes <> t.bytes_delivered then
+            Some
+              (Printf.sprintf "delivered byte counters disagree: %d tracked vs %d reported"
+                 wd.wd_delivered_bytes t.bytes_delivered)
+          else if wd.tx_started_bytes < wd.wd_delivered_bytes then
+            Some
+              (Printf.sprintf "delivered %d bytes but only %d entered the wire"
+                 wd.wd_delivered_bytes wd.tx_started_bytes)
+          else None)
+  | _ -> ());
+  t
 
 let note_delivery t (pkt : Packet.t) =
   (match t.obs.tx_bytes with Some c -> Obs.Metrics.add c pkt.size_bytes | None -> ());
@@ -104,10 +166,20 @@ let rec transmit_next t =
           ~rate_bps:t.rate_bps
       in
       t.busy_seconds <- t.busy_seconds +. tx_time;
+      (match t.wd with
+      | Some wd ->
+          wd.tx_started_pkts <- wd.tx_started_pkts + 1;
+          wd.tx_started_bytes <- wd.tx_started_bytes + pkt.Packet.size_bytes
+      | None -> ());
       ignore
         (Ccsim_engine.Sim.schedule t.sim ~delay:tx_time (fun () ->
              Ccsim_engine.Sim.set_component t.sim "link";
              t.bytes_delivered <- t.bytes_delivered + pkt.size_bytes;
+             (match t.wd with
+             | Some wd ->
+                 wd.wd_delivered_pkts <- wd.wd_delivered_pkts + 1;
+                 wd.wd_delivered_bytes <- wd.wd_delivered_bytes + pkt.size_bytes
+             | None -> ());
              note_delivery t pkt;
              ignore
                (Ccsim_engine.Sim.schedule t.sim ~delay:t.delay_s (fun () ->

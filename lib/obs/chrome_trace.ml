@@ -1,0 +1,93 @@
+(* Chrome trace-event ("JSON array") exporter, loadable in Perfetto and
+   chrome://tracing. Each job becomes one process: its timeline series
+   become counter tracks (ph "C"), its flight-recorder events become
+   instant events (ph "i"), and one duration event (ph "X") spans the
+   whole run so the process row has visible extent. Timestamps are
+   virtual seconds scaled to microseconds, the format's native unit. *)
+
+let ts_of seconds = seconds *. 1e6
+
+let num v =
+  if not (Float.is_finite v) then "0"
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let track_name s =
+  match Timeline.labels s with
+  | [] -> Timeline.name s
+  | labels ->
+      Printf.sprintf "%s{%s}" (Timeline.name s)
+        (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels))
+
+let severity_arg = function
+  | Recorder.Debug -> "debug"
+  | Recorder.Info -> "info"
+  | Recorder.Warn -> "warn"
+  | Recorder.Error -> "error"
+
+let to_string jobs =
+  let buf = Buffer.create 8192 in
+  let first = ref true in
+  let event fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_string buf ",\n";
+        Buffer.add_string buf s)
+      fmt
+  in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i (job_name, timeline, recorder) ->
+      let pid = i + 1 in
+      event "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":%s}}"
+        pid (Json.str job_name);
+      (* Span of the whole job, for a visible process row. *)
+      let t_min = ref infinity and t_max = ref neg_infinity in
+      let see t =
+        if t < !t_min then t_min := t;
+        if t > !t_max then t_max := t
+      in
+      Option.iter
+        (fun tl ->
+          List.iter
+            (fun s -> Array.iter (fun (t, _) -> see t) (Timeline.points s))
+            (Timeline.all_series tl))
+        timeline;
+      Option.iter
+        (fun r -> List.iter (fun (e : Recorder.event) -> see e.at) (Recorder.events r))
+        recorder;
+      if !t_max >= !t_min then
+        event "{\"name\":%s,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":0}"
+          (Json.str job_name) (ts_of !t_min)
+          (ts_of (!t_max -. !t_min))
+          pid;
+      Option.iter
+        (fun tl ->
+          List.iter
+            (fun s ->
+              let name = Json.str (track_name s) in
+              Array.iter
+                (fun (t, v) ->
+                  event "{\"name\":%s,\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,\"args\":{\"value\":%s}}"
+                    name (ts_of t) pid (num v))
+                (Timeline.points s))
+            (Timeline.all_series tl))
+        timeline;
+      Option.iter
+        (fun r ->
+          List.iter
+            (fun (e : Recorder.event) ->
+              let args =
+                (("point", e.point) :: ("severity", severity_arg e.severity) :: e.fields)
+                |> List.map (fun (k, v) -> Printf.sprintf "%s:%s" (Json.str k) (Json.str v))
+                |> String.concat ","
+              in
+              event "{\"name\":%s,\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,\"tid\":1,\"s\":\"p\",\"args\":{%s}}"
+                (Json.str (e.kind ^ ":" ^ e.detail))
+                (ts_of e.at) pid args)
+            (Recorder.events r))
+        recorder)
+    jobs;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf

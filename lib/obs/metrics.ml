@@ -92,7 +92,42 @@ let observe h x =
 let observations h = h.observations
 let sum h = h.sum
 
-let bucket_upper_bound i = Float.ldexp 1.0 (i - exponent_offset + 1)
+(* Bucket [i] holds values in [2^(i - offset - 1), 2^(i - offset)): the
+   inverse of [bucket_index], where frexp maps [2^(e-1), 2^e) to e. *)
+let bucket_lower_bound i = Float.ldexp 1.0 (i - exponent_offset - 1)
+let bucket_upper_bound i = Float.ldexp 1.0 (i - exponent_offset)
+
+(* Quantile estimate by linear interpolation within the covering bucket
+   (continuous rank k = q * n; the zero bucket contributes rank mass at
+   value 0). Bucket bounds are powers of two, so the estimate is within
+   a factor of two of the true order statistic. *)
+let quantile h q =
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Metrics.quantile: q must be within [0,1]";
+  if h.observations = 0 then 0.0
+  else begin
+    let k = q *. float_of_int h.observations in
+    if h.zero > 0 && k <= float_of_int h.zero then 0.0
+    else begin
+      let cum = ref (float_of_int h.zero) in
+      let answer = ref 0.0 in
+      (try
+         for i = 0 to bucket_count - 1 do
+           let n = h.buckets.(i) in
+           if n > 0 then begin
+             let lo = bucket_lower_bound i and hi = bucket_upper_bound i in
+             let fn = float_of_int n in
+             if k <= !cum +. fn then begin
+               answer := lo +. ((k -. !cum) /. fn *. (hi -. lo));
+               raise Exit
+             end;
+             cum := !cum +. fn;
+             answer := hi
+           end
+         done
+       with Exit -> ());
+      !answer
+    end
+  end
 
 let size t = Hashtbl.length t.table
 
@@ -133,8 +168,13 @@ let line_to buf ?(extra = []) key instr =
   | Counter c -> Printf.bprintf buf ",\"value\":%d" c.count
   | Gauge g -> Printf.bprintf buf ",\"value\":%s" (float_lit g.value)
   | Histogram h ->
-      Printf.bprintf buf ",\"count\":%d,\"sum\":%s,\"zero\":%d,\"buckets\":[" h.observations
+      Printf.bprintf buf ",\"count\":%d,\"sum\":%s,\"zero\":%d" h.observations
         (float_lit h.sum) h.zero;
+      Printf.bprintf buf ",\"p50\":%s,\"p95\":%s,\"p99\":%s"
+        (float_lit (quantile h 0.50))
+        (float_lit (quantile h 0.95))
+        (float_lit (quantile h 0.99));
+      Buffer.add_string buf ",\"buckets\":[";
       let first = ref true in
       Array.iteri
         (fun i n ->

@@ -44,8 +44,18 @@ val observe : histogram -> float -> unit
 val observations : histogram -> int
 val sum : histogram -> float
 
+val bucket_lower_bound : int -> float
+(** Inclusive lower bound of bucket [i]. *)
+
 val bucket_upper_bound : int -> float
 (** Exclusive upper bound of bucket [i] (for export consumers). *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([q] within [[0,1]],
+    raises [Invalid_argument] otherwise) by linear interpolation within
+    the power-of-two bucket covering continuous rank [q * count]; the
+    zero bucket contributes rank mass at value 0. Returns 0 for an empty
+    histogram. Accurate to within one bucket width (a factor of two). *)
 
 val size : t -> int
 (** Number of registered instruments. *)
@@ -58,5 +68,6 @@ val to_ndjson : ?extra:(string * string) list -> t -> string
 (** One JSON object per line, in registration order. [extra] key/value
     pairs (e.g. [("job", "fig1")]) are prepended to every line.
     Counter/gauge lines carry ["value"]; histogram lines carry
-    ["count"], ["sum"], ["zero"], and the non-empty ["buckets"] as
-    [{"le", "count"}] pairs. *)
+    ["count"], ["sum"], ["zero"], derived ["p50"]/["p95"]/["p99"]
+    quantile estimates (see {!quantile}), and the non-empty ["buckets"]
+    as [{"le", "count"}] pairs. *)

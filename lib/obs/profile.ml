@@ -5,10 +5,17 @@ type t = {
   mutable events_executed : int;
   mutable busy_s : float;
   mutable max_heap_depth : int;
+  mutable sim_s : float;  (* furthest simulated clock seen *)
 }
 
 let create () =
-  { comps = Hashtbl.create 16; events_executed = 0; busy_s = 0.0; max_heap_depth = 0 }
+  {
+    comps = Hashtbl.create 16;
+    events_executed = 0;
+    busy_s = 0.0;
+    max_heap_depth = 0;
+    sim_s = 0.0;
+  }
 
 let record t ~comp ~seconds =
   t.events_executed <- t.events_executed + 1;
@@ -25,13 +32,17 @@ let record t ~comp ~seconds =
   c.seconds <- c.seconds +. seconds
 
 let note_heap_depth t depth = if depth > t.max_heap_depth then t.max_heap_depth <- depth
+let note_sim_time t clock = if clock > t.sim_s then t.sim_s <- clock
 
 let events_executed t = t.events_executed
 let busy_s t = t.busy_s
 let max_heap_depth t = t.max_heap_depth
+let sim_s t = t.sim_s
 
 let events_per_sec t =
   if t.busy_s > 0.0 then float_of_int t.events_executed /. t.busy_s else 0.0
+
+let sim_speedup t = if t.busy_s > 0.0 then t.sim_s /. t.busy_s else 0.0
 
 let components t =
   let rows = Hashtbl.fold (fun name c acc -> (name, c.events, c.seconds) :: acc) t.comps [] in
@@ -43,8 +54,9 @@ let components t =
 let to_json t =
   let buf = Buffer.create 256 in
   Printf.bprintf buf
-    "{\"events_executed\": %d, \"busy_s\": %.6f, \"events_per_sec\": %.1f, \"max_heap_depth\": %d, \"components\": ["
-    t.events_executed t.busy_s (events_per_sec t) t.max_heap_depth;
+    "{\"events_executed\": %d, \"busy_s\": %.6f, \"events_per_sec\": %.1f, \"sim_s\": %.6f, \
+     \"sim_speedup\": %.1f, \"max_heap_depth\": %d, \"components\": ["
+    t.events_executed t.busy_s (events_per_sec t) t.sim_s (sim_speedup t) t.max_heap_depth;
   List.iteri
     (fun i (name, events, seconds) ->
       if i > 0 then Buffer.add_string buf ", ";
@@ -64,5 +76,7 @@ let summary t =
           |> List.map (fun (name, events, seconds) ->
                  Printf.sprintf "%s %.3fs/%d" name seconds events))
   in
-  Printf.sprintf "%d events in %.3fs busy (%.0f ev/s), heap depth <= %d; %s" t.events_executed
-    t.busy_s (events_per_sec t) t.max_heap_depth top
+  Printf.sprintf
+    "%d events in %.3fs busy (%.0f ev/s), %.2f sim-s (%.0fx real time), heap depth <= %d; %s"
+    t.events_executed t.busy_s (events_per_sec t) t.sim_s (sim_speedup t) t.max_heap_depth
+    top

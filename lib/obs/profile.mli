@@ -16,6 +16,9 @@ val record : t -> comp:string -> seconds:float -> unit
 val note_heap_depth : t -> int -> unit
 (** Update the peak heap depth. *)
 
+val note_sim_time : t -> float -> unit
+(** Update the furthest simulated clock reached. *)
+
 val events_executed : t -> int
 val busy_s : t -> float
 (** Cumulative wall-clock spent executing event callbacks. *)
@@ -23,6 +26,13 @@ val busy_s : t -> float
 val max_heap_depth : t -> int
 val events_per_sec : t -> float
 (** [events_executed / busy_s]; 0 before any event ran. *)
+
+val sim_s : t -> float
+(** Furthest simulated clock reached. *)
+
+val sim_speedup : t -> float
+(** Simulated seconds per wall-clock second of event execution
+    ([sim_s / busy_s]); 0 before any event ran. *)
 
 val components : t -> (string * int * float) list
 (** [(component, events, seconds)], most expensive first. *)

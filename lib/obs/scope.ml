@@ -2,15 +2,26 @@ type t = {
   metrics : Metrics.t option;
   recorder : Recorder.t option;
   profile : Profile.t option;
+  timeline : Timeline.t option;
+  watchdog : Watchdog.t option;
 }
 
-let none = { metrics = None; recorder = None; profile = None }
+let none =
+  { metrics = None; recorder = None; profile = None; timeline = None; watchdog = None }
 
-let v ?metrics ?recorder ?profile () = { metrics; recorder; profile }
+let v ?metrics ?recorder ?profile ?timeline ?watchdog () =
+  { metrics; recorder; profile; timeline; watchdog }
 
 let is_none t =
   match t with
-  | { metrics = None; recorder = None; profile = None } -> true
+  | {
+   metrics = None;
+   recorder = None;
+   profile = None;
+   timeline = None;
+   watchdog = None;
+  } ->
+      true
   | _ -> false
 
 (* Domain-local so runner pool workers (sibling domains) each see their

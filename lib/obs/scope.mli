@@ -1,8 +1,8 @@
 (** Ambient observability scope.
 
-    A scope bundles the three observability facilities — metrics
-    registry, flight recorder, engine profile — that instrumented
-    components consult at creation time. The scope is ambient
+    A scope bundles the observability facilities — metrics registry,
+    flight recorder, engine profile, timeline, invariant watchdog —
+    that instrumented components consult at creation time. The scope is ambient
     (domain-local): wrap a simulation build-and-run in {!with_scope} and
     every [Sim], [Link], qdisc, sender, and CCA created inside picks up
     the instruments automatically, with no constructor plumbing.
@@ -19,10 +19,20 @@ type t = {
   metrics : Metrics.t option;
   recorder : Recorder.t option;
   profile : Profile.t option;
+  timeline : Timeline.t option;
+  watchdog : Watchdog.t option;
 }
 
 val none : t
-val v : ?metrics:Metrics.t -> ?recorder:Recorder.t -> ?profile:Profile.t -> unit -> t
+
+val v :
+  ?metrics:Metrics.t ->
+  ?recorder:Recorder.t ->
+  ?profile:Profile.t ->
+  ?timeline:Timeline.t ->
+  ?watchdog:Watchdog.t ->
+  unit ->
+  t
 val is_none : t -> bool
 
 val ambient : unit -> t

@@ -1,0 +1,72 @@
+type violation = {
+  at : float;
+  component : string;
+  invariant : string;
+  message : string;
+}
+
+exception Violation of violation
+
+type check = { c_component : string; c_invariant : string; run : unit -> string option }
+
+type t = {
+  interval : float;
+  mutable checks : check list;  (* registration order, newest first *)
+  mutable tripped : violation option;
+  mutable checks_run : int;
+}
+
+let default_interval = 0.25
+
+let create ?(interval = default_interval) () =
+  if interval <= 0.0 then invalid_arg "Watchdog.create: interval must be positive";
+  { interval; checks = []; tripped = None; checks_run = 0 }
+
+let interval t = t.interval
+let checks t = List.length t.checks
+let checks_run t = t.checks_run
+let violation t = t.tripped
+
+let register t ~component ~invariant run =
+  t.checks <- { c_component = component; c_invariant = invariant; run } :: t.checks
+
+let violate t ~now ~component ~invariant message =
+  let v = { at = now; component; invariant; message } in
+  if t.tripped = None then t.tripped <- Some v;
+  raise (Violation v)
+
+let check_now t ~now =
+  match t.tripped with
+  | Some v -> raise (Violation v)
+  | None ->
+      List.iter
+        (fun c ->
+          t.checks_run <- t.checks_run + 1;
+          match c.run () with
+          | None -> ()
+          | Some msg -> violate t ~now ~component:c.c_component ~invariant:c.c_invariant msg)
+        (List.rev t.checks)
+
+let watch_timeline t tl =
+  register t ~component:"timeline" ~invariant:"sample_ordering" (fun () ->
+      match Timeline.ordering_violation tl with
+      | None -> None
+      | Some (series, last, offending) ->
+          Some
+            (Printf.sprintf "series %S went backwards: %.9f after %.9f" series offending
+               last))
+
+let one_line v =
+  Printf.sprintf "watchdog violation [component=%s invariant=%s at=%.6f]: %s" v.component
+    v.invariant v.at v.message
+
+let report v =
+  Printf.sprintf
+    "watchdog: invariant violated at t=%.6f\n  component: %s\n  invariant: %s\n  detail: %s\n"
+    v.at v.component v.invariant v.message
+
+(* Failed runner jobs carry [Printexc.to_string] of the exception, so a
+   watchdog abort surfaces its structured report in job errors, the
+   telemetry table, and the JSON run report. *)
+let () =
+  Printexc.register_printer (function Violation v -> Some (one_line v) | _ -> None)

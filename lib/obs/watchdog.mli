@@ -1,0 +1,64 @@
+(** Online invariant watchdog.
+
+    Components register named invariant checks — closures returning
+    [None] while the invariant holds, or [Some detail] when it is
+    broken. The engine runs every check on a periodic sim-clock driver
+    (and once more at the end of a run); the first failure raises
+    {!Violation} with a structured record, aborting the run.
+
+    Checks are written against physically conserved quantities (packet
+    and byte conservation per link, queue backlog within capacity,
+    cwnd positivity, simulation-time monotonicity, telemetry sample
+    ordering), so a watchdog pass is evidence the simulation stayed
+    mechanically sane — not just that it produced plausible numbers. *)
+
+type violation = {
+  at : float;  (** virtual time of the failed check *)
+  component : string;  (** who registered the invariant, e.g. ["link/qdisc:fifo"] *)
+  invariant : string;  (** e.g. ["packet_conservation"] *)
+  message : string;  (** detail from the check *)
+}
+
+exception Violation of violation
+(** Registered with [Printexc] so runner job errors carry the one-line
+    report. *)
+
+type t
+
+val default_interval : float
+(** 0.25 s between check sweeps. *)
+
+val create : ?interval:float -> unit -> t
+(** Raises [Invalid_argument] if [interval <= 0]. *)
+
+val interval : t -> float
+
+val register : t -> component:string -> invariant:string -> (unit -> string option) -> unit
+(** Add a check. The closure runs on every sweep; return [Some detail]
+    to fail the run. *)
+
+val check_now : t -> now:float -> unit
+(** Run every registered check (registration order); raises
+    {!Violation} on the first failure — and on every subsequent call
+    once tripped, so a violation cannot be outrun. *)
+
+val violate : t -> now:float -> component:string -> invariant:string -> string -> 'a
+(** Fail immediately from inline code (e.g. the engine's monotonicity
+    check) without registering a closure. *)
+
+val watch_timeline : t -> Timeline.t -> unit
+(** Register the telemetry-ordering invariant over a timeline's
+    {!Timeline.ordering_violation} latch. *)
+
+val violation : t -> violation option
+(** The first violation, if the watchdog tripped. *)
+
+val checks : t -> int
+(** Number of registered checks. *)
+
+val checks_run : t -> int
+(** Total individual check executions so far. *)
+
+val one_line : violation -> string
+val report : violation -> string
+(** Multi-line structured report for stderr. *)

@@ -522,7 +522,17 @@ let create sim ~flow ~cca ~path ?(mss = Ccsim_util.Units.mss) ?(on_complete = fu
       (fun m -> Obs.Metrics.counter m ~labels:[ ("flow", string_of_int flow) ] name)
       scope.Obs.Scope.metrics
   in
-  {
+  (match scope.Obs.Scope.watchdog with
+  | Some w ->
+      let component = Printf.sprintf "tcp/flow%d" flow in
+      Obs.Watchdog.register w ~component ~invariant:"cwnd_positive" (fun () ->
+          let cwnd = cca.Cca.cwnd in
+          if (not (Float.is_finite cwnd)) || cwnd <= 0.0 then
+            Some (Printf.sprintf "cwnd is %g bytes" cwnd)
+          else None)
+  | None -> ());
+  let t =
+    {
     sim;
     flow;
     cca;
@@ -566,8 +576,20 @@ let create sim ~flow ~cca ~path ?(mss = Ccsim_util.Units.mss) ?(on_complete = fu
     rwnd_limited_s = 0.0;
     cwnd_limited_s = 0.0;
     busy_s = 0.0;
-    m_retransmits = counter "tcp_retransmits_total";
-    m_rtos = counter "tcp_rtos_total";
-    m_cwnd_limited = counter "tcp_cwnd_limited_transitions_total";
-    obs_recorder = scope.Obs.Scope.recorder;
-  }
+      m_retransmits = counter "tcp_retransmits_total";
+      m_rtos = counter "tcp_rtos_total";
+      m_cwnd_limited = counter "tcp_cwnd_limited_transitions_total";
+      obs_recorder = scope.Obs.Scope.recorder;
+    }
+  in
+  (match scope.Obs.Scope.watchdog with
+  | Some w ->
+      let component = Printf.sprintf "tcp/flow%d" flow in
+      Obs.Watchdog.register w ~component ~invariant:"inflight_nonnegative" (fun () ->
+          let inflight = inflight t in
+          if inflight < 0 || t.pipe_bytes < 0 then
+            Some
+              (Printf.sprintf "inflight=%d bytes, pipe=%d bytes" inflight t.pipe_bytes)
+          else None)
+  | None -> ());
+  t

@@ -15,4 +15,5 @@ let () =
       ("parking lot", Test_parking_lot.suite);
       ("runner", Test_runner.suite);
       ("obs", Test_obs.suite);
+      ("timeline", Test_timeline.suite);
     ]
