@@ -26,9 +26,9 @@ let regenerate_all ~jobs () =
       ~digest:(R.Job.digest_of_params ~name:e.id params)
       (fun () -> e.render ~seed:42 ())
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = R.Telemetry.now_s () in
   let results = R.Pool.run (R.Pool.config ~jobs ()) (List.map job_of E.all) in
-  let total_wall_s = Unix.gettimeofday () -. t0 in
+  let total_wall_s = R.Telemetry.now_s () -. t0 in
   List.iteri
     (fun i (e : E.t) ->
       line (Printf.sprintf "%s -- %s" (String.uppercase_ascii e.id) e.title);

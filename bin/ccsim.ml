@@ -291,9 +291,9 @@ let run_and_report ~jobs ~no_cache ~report ~telemetry_to ~obs ~handles jobs_list
   let no_cache = no_cache || obs_enabled obs in
   let cache = if no_cache then None else Some (R.Cache.create ()) in
   let config = R.Pool.config ~jobs ?cache () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = R.Telemetry.now_s () in
   let results = R.Pool.run config jobs_list in
-  let total_wall_s = Unix.gettimeofday () -. t0 in
+  let total_wall_s = R.Telemetry.now_s () -. t0 in
   Array.iteri
     (fun i (r : R.Job.result) ->
       if i > 0 then print_newline ();
@@ -433,9 +433,9 @@ let sweep_cmd =
     Printf.printf "sweep: %d job(s) on %d worker(s)\n\n" (List.length jobs_list) jobs;
     let cache = if no_cache then None else Some (R.Cache.create ()) in
     let config = R.Pool.config ~jobs ?cache () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = R.Telemetry.now_s () in
     let results = R.Pool.run config jobs_list in
-    let total_wall_s = Unix.gettimeofday () -. t0 in
+    let total_wall_s = R.Telemetry.now_s () -. t0 in
     Array.iter
       (fun (r : R.Job.result) ->
         Printf.printf "== %s\n" r.name;

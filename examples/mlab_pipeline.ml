@@ -8,7 +8,6 @@
 
    Run with: dune exec examples/mlab_pipeline.exe *)
 
-module Sim = Ccsim_engine.Sim
 module Scenario = Ccsim_core.Scenario
 module Results = Ccsim_core.Results
 module M = Ccsim_measure

@@ -1,5 +1,4 @@
 module Sim = Ccsim_engine.Sim
-module Topology = Ccsim_net.Topology
 
 type flow_record = {
   id : int;

@@ -125,10 +125,10 @@ let step t =
           Ccsim_obs.Profile.note_heap_depth p (Event_heap.size t.heap + 1);
           Ccsim_obs.Profile.note_sim_time p time;
           t.component <- "other";
-          let t0 = Unix.gettimeofday () in
+          let t0 = Ccsim_obs.Profile.wall_now () in
           f ();
           Ccsim_obs.Profile.record p ~comp:t.component
-            ~seconds:(Unix.gettimeofday () -. t0));
+            ~seconds:(Ccsim_obs.Profile.wall_now () -. t0));
       true
 
 let run ?until t =

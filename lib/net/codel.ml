@@ -36,7 +36,7 @@ let create ~now ?(target = 0.005) ?(interval = 0.1) ?(limit_bytes = Fifo.default
       first_above_time := 0.0;
       false
     end
-    else if !first_above_time = 0.0 then begin
+    else if Ccsim_util.Feq.feq ~eps:0.0 !first_above_time 0.0 then begin
       first_above_time := t +. interval;
       false
     end

@@ -1,5 +1,8 @@
 module Obs = Ccsim_obs
 
+(* Concurrency/determinism audit (ccsim-lint): all state here is
+   per-instance, each instance lives on one runner domain, and the
+   handler table is only ever probed by key — hash order never leaks. *)
 type t = {
   handlers : (int, Packet.t -> unit) Hashtbl.t;
   mutable unmatched : int;

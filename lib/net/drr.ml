@@ -13,6 +13,10 @@ let create ?(quantum_bytes = default_quantum) ?(limit_bytes = Fifo.default_limit
   if quantum_bytes <= 0 then invalid_arg "Drr.create: quantum must be positive";
   if limit_bytes <= 0 then invalid_arg "Drr.create: limit must be positive";
   let flows : (int, flow_state) Hashtbl.t = Hashtbl.create 16 in
+  (* Known flow ids, ascending. Scans go through this list rather than
+     Hashtbl.iter so tie-breaks never depend on hash order (ccsim-lint
+     R2): among equally long queues the lowest flow id is evicted. *)
+  let known_flows = ref [] in
   let active : flow_state Queue.t = Queue.create () in
   let total_bytes = ref 0 in
   let total_packets = ref 0 in
@@ -25,17 +29,19 @@ let create ?(quantum_bytes = default_quantum) ?(limit_bytes = Fifo.default_limit
         if weight <= 0.0 then invalid_arg "Drr: flow weight must be positive";
         let fs = { queue = Queue.create (); deficit = 0.0; queued_bytes = 0; active = false; weight } in
         Hashtbl.add flows flow fs;
+        known_flows := List.merge compare [ flow ] !known_flows;
         fs
   in
   (* Longest-queue-drop: evict one packet from the fullest flow queue. *)
   let drop_from_longest () =
     let longest = ref None in
-    Hashtbl.iter
-      (fun _ fs ->
+    List.iter
+      (fun flow ->
+        let fs = Hashtbl.find flows flow in
         match !longest with
         | None -> if fs.queued_bytes > 0 then longest := Some fs
         | Some best -> if fs.queued_bytes > best.queued_bytes then longest := Some fs)
-      flows;
+      !known_flows;
     match !longest with
     | None -> ()
     | Some fs -> (

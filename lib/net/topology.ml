@@ -24,7 +24,10 @@ let dumbbell sim ~rate_bps ~delay_s ?qdisc ?(edge_delay = fun _ -> 0.001)
   let bottleneck =
     Link.create sim ~rate_bps ~delay_s ?qdisc ~sink:(Dispatch.as_sink fwd_dispatch) ()
   in
-  (* Per-flow forward edge: edge link -> (optional shaper/policer) -> bottleneck. *)
+  (* Per-flow forward edge: edge link -> (optional shaper/policer) -> bottleneck.
+     Concurrency/determinism audit (ccsim-lint): the entry tables below
+     are closure-local to one topology on one runner domain, and are
+     only ever probed by flow id — hash order never leaks. *)
   let fwd_entries : (int, Packet.t -> unit) Hashtbl.t = Hashtbl.create 16 in
   let fwd_entry ~flow =
     match Hashtbl.find_opt fwd_entries flow with

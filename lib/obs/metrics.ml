@@ -25,6 +25,10 @@ type instrument =
 
 type key = { name : string; labels : labels }
 
+(* Concurrency/determinism audit (ccsim-lint): a registry is
+   per-instance (one per job/scope, never shared across domains), and
+   every rendering path walks [order] — not the table — so output never
+   depends on hash order. *)
 type t = {
   table : (key, instrument) Hashtbl.t;
   mutable order : key list;  (* registration order, newest first *)

@@ -2,15 +2,23 @@ type comp = { mutable events : int; mutable seconds : float }
 
 type t = {
   comps : (string, comp) Hashtbl.t;
+  mutable comp_names : string list;  (* registration order, newest first *)
   mutable events_executed : int;
   mutable busy_s : float;
   mutable max_heap_depth : int;
   mutable sim_s : float;  (* furthest simulated clock seen *)
 }
 
+(* The sanctioned wall-clock read for profiling. ccsim-lint (R2)
+   forbids Unix.gettimeofday outside lib/runner and lib/obs so no
+   simulated quantity can depend on the host clock; callers that time
+   real work (the engine's event loop) go through this choke point. *)
+let wall_now = Unix.gettimeofday
+
 let create () =
   {
     comps = Hashtbl.create 16;
+    comp_names = [];
     events_executed = 0;
     busy_s = 0.0;
     max_heap_depth = 0;
@@ -26,6 +34,7 @@ let record t ~comp ~seconds =
     | None ->
         let c = { events = 0; seconds = 0.0 } in
         Hashtbl.add t.comps comp c;
+        t.comp_names <- comp :: t.comp_names;
         c
   in
   c.events <- c.events + 1;
@@ -45,7 +54,16 @@ let events_per_sec t =
 let sim_speedup t = if t.busy_s > 0.0 then t.sim_s /. t.busy_s else 0.0
 
 let components t =
-  let rows = Hashtbl.fold (fun name c acc -> (name, c.events, c.seconds) :: acc) t.comps [] in
+  (* Walk the registration-order name list, not the table, so row order
+     never depends on hash state (ccsim-lint R2); the sort below then
+     makes it independent of registration order too. *)
+  let rows =
+    List.fold_left
+      (fun acc name ->
+        let c = Hashtbl.find t.comps name in
+        (name, c.events, c.seconds) :: acc)
+      [] t.comp_names
+  in
   List.sort
     (fun (na, _, sa) (nb, _, sb) ->
       match compare sb sa with 0 -> compare na nb | c -> c)

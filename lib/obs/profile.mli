@@ -8,6 +8,12 @@
 
 type t
 
+val wall_now : unit -> float
+(** The sanctioned wall-clock read ([Unix.gettimeofday]) for profiling
+    real work. ccsim-lint rule R2 bans direct wall-clock calls outside
+    [lib/runner] and [lib/obs] so simulated results can never depend on
+    the host clock; timing code elsewhere must route through this. *)
+
 val create : unit -> t
 
 val record : t -> comp:string -> seconds:float -> unit

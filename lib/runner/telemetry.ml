@@ -8,6 +8,11 @@ type t = {
 
 let make ~pool_jobs ~total_wall_s results = { pool_jobs; total_wall_s; results }
 
+(* The sanctioned wall-clock read for run timing. ccsim-lint (R2) bans
+   Unix.gettimeofday outside lib/runner and lib/obs; anything that
+   measures real elapsed time (bin, bench) must come through here. *)
+let now_s = Unix.gettimeofday
+
 let count p t = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 t.results
 let cache_hits = count (fun (r : Job.result) -> r.cache_hit)
 let failures = count (fun (r : Job.result) -> not r.ok)

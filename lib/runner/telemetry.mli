@@ -11,6 +11,13 @@ type t = {
 }
 
 val make : pool_jobs:int -> total_wall_s:float -> Job.result array -> t
+
+val now_s : unit -> float
+(** The sanctioned wall-clock read ([Unix.gettimeofday]) for run timing.
+    ccsim-lint rule R2 bans direct wall-clock calls outside [lib/runner]
+    and [lib/obs] so simulated results can never depend on the host
+    clock; elapsed-time measurement elsewhere must route through this. *)
+
 val cache_hits : t -> int
 val failures : t -> int
 

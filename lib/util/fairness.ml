@@ -4,7 +4,7 @@ let jain_index xs =
   Array.iter (fun x -> if x < 0.0 then invalid_arg "Fairness.jain_index: negative allocation") xs;
   let sum = Array.fold_left ( +. ) 0.0 xs in
   let sum_sq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
-  if sum_sq = 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sum_sq)
+  if Feq.feq ~eps:0.0 sum_sq 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sum_sq)
 
 let max_min_with_weights ~capacity ~demands ~weights =
   if capacity < 0.0 then invalid_arg "Fairness.max_min: negative capacity";
@@ -23,7 +23,7 @@ let max_min_with_weights ~capacity ~demands ~weights =
     for i = 0 to n - 1 do
       if not satisfied.(i) then active_weight := !active_weight +. weights.(i)
     done;
-    if !active_weight = 0.0 || !remaining <= 1e-12 then continue := false
+    if Feq.feq ~eps:0.0 !active_weight 0.0 || !remaining <= 1e-12 then continue := false
     else begin
       let fill = !remaining /. !active_weight in
       (* The binding flow: smallest remaining normalized demand. *)

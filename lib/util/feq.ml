@@ -1,0 +1,18 @@
+(* The one blessed site of float equality in the tree. ccsim-lint's R3
+   forbids bare structural = / <> at float type everywhere else: the
+   comparison compiles, but silently turns into a representation test
+   that breaks change-point and elasticity verdicts the moment a
+   computation is reassociated. Going through [feq] makes the intended
+   tolerance explicit at every call site.
+
+   With [~eps:0.] the result is exactly that of structural (=) on
+   non-NaN floats, including infinities and signed zeros, so replacing
+   `a = b` with `feq ~eps:0. a b` is verdict-preserving bit for bit
+   (see test/test_util.ml's qcheck equivalence property). *)
+
+(* lint: allow R3 -- this module implements the sanctioned comparison *)
+let feq ~eps a b =
+  if not (eps >= 0.0) then invalid_arg "Feq.feq: eps must be non-negative";
+  a = b || Float.abs (a -. b) <= eps
+
+let fne ~eps a b = not (feq ~eps a b)

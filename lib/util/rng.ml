@@ -74,7 +74,7 @@ let lognormal t ~mu ~sigma = exp (normal t ~mean:mu ~stddev:sigma)
 
 let poisson t ~mean =
   if mean < 0.0 then invalid_arg "Rng.poisson: mean must be non-negative";
-  if mean = 0.0 then 0
+  if Feq.feq ~eps:0.0 mean 0.0 then 0
   else if mean < 30.0 then begin
     let l = exp (-.mean) in
     let rec loop k p =
@@ -90,7 +90,7 @@ let poisson t ~mean =
 
 let geometric t ~p =
   if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0,1]";
-  if p = 1.0 then 0
+  if Feq.feq ~eps:0.0 p 1.0 then 0
   else
     let u = 1.0 -. unit_float t in
     int_of_float (Float.floor (log u /. log (1.0 -. p)))

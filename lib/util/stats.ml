@@ -50,7 +50,7 @@ let median xs = percentile xs 50.0
 
 let coefficient_of_variation xs =
   let m = mean xs in
-  if m = 0.0 then invalid_arg "Stats.coefficient_of_variation: zero mean";
+  if Feq.feq ~eps:0.0 m 0.0 then invalid_arg "Stats.coefficient_of_variation: zero mean";
   stddev xs /. m
 
 type summary = {

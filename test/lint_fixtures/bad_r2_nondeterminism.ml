@@ -1,0 +1,8 @@
+(* Fixture: R2 violations — nondeterminism sources. Not compiled; only
+   scanned by test_lint.ml through Lint_core. *)
+
+let jitter () = Random.float 0.010
+
+let stamp () = Unix.gettimeofday ()
+
+let dump table = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) table

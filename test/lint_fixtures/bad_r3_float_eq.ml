@@ -1,0 +1,6 @@
+(* Fixture: R3 violations — structural equality on floats. Not
+   compiled; only scanned by test_lint.ml through Lint_core. *)
+
+let is_idle rate_bps = rate_bps = 0.0
+
+let changed ~prev_s ~next_s = prev_s <> next_s

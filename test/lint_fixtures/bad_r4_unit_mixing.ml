@@ -1,0 +1,7 @@
+(* Fixture: R4 violations — mixing unit suffixes across a binary
+   operator. Not compiled; only scanned by test_lint.ml through
+   Lint_core. *)
+
+let budget delay_s rate_bps = delay_s +. rate_bps
+
+let over queued_bytes window_pkts = queued_bytes > window_pkts

@@ -1,0 +1,177 @@
+(* ccsim-lint: each fixture under lint_fixtures/ must produce exactly
+   the findings its name promises — one file per rule, plus an
+   annotated file the linter must stay silent on — and the allowlist
+   machinery must suppress, report stale entries, and reject entries
+   without a justification. *)
+
+module L = Lint_core
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+  n = 0 || at 0
+
+let drop_prefix ~prefix s =
+  let n = String.length prefix in
+  if String.length s >= n && String.sub s 0 n = prefix then
+    Some (String.sub s n (String.length s - n))
+  else None
+
+(* Under `dune runtest` the cwd is the test directory; under
+   `dune exec test/test_main.exe` it is wherever the caller stood.
+   Resolve both the fixture dir and the repo root by probing. *)
+let fixture_dir =
+  if Sys.file_exists "lint_fixtures" then "lint_fixtures"
+  else Filename.concat "test" "lint_fixtures"
+
+let fixture name = Filename.concat fixture_dir name
+
+let repo_root = if Sys.file_exists "lint.allow" then "." else "../../.."
+
+let summarize findings =
+  List.map (fun (f : L.finding) -> (f.rule, f.line, f.col)) findings
+
+let check_fixture ~name ~expected () =
+  let found = summarize (L.scan_file (fixture name)) in
+  Alcotest.(check (list (triple string int int))) name expected found
+
+let test_r1 =
+  check_fixture ~name:"bad_r1_global_mutable.ml"
+    ~expected:[ ("R1", 4, 4); ("R1", 5, 4); ("R1", 6, 4) ]
+
+let test_r2 =
+  check_fixture ~name:"bad_r2_nondeterminism.ml"
+    ~expected:[ ("R2", 4, 16); ("R2", 6, 15); ("R2", 8, 17) ]
+
+let test_r3 =
+  check_fixture ~name:"bad_r3_float_eq.ml" ~expected:[ ("R3", 4, 32); ("R3", 6, 37) ]
+
+let test_r4 =
+  check_fixture ~name:"bad_r4_unit_mixing.ml" ~expected:[ ("R4", 5, 38); ("R4", 7, 49) ]
+
+let test_annotations_silence = check_fixture ~name:"ok_annotated.ml" ~expected:[]
+
+let test_r2_exemption () =
+  (* The same wall-clock read is a finding in engine code and exempt in
+     telemetry/profiling code. *)
+  let source = "let t0 = Unix.gettimeofday ()\n" in
+  let in_engine = L.scan_source ~file:"lib/engine/x.ml" source in
+  let in_runner = L.scan_source ~file:"lib/runner/x.ml" ~wall_clock_exempt:true source in
+  Alcotest.(check int) "flagged in lib/engine" 1 (List.length in_engine);
+  Alcotest.(check int) "exempt in lib/runner" 0 (List.length in_runner)
+
+let test_messages_name_the_problem () =
+  let msgs_of name = List.map (fun (f : L.finding) -> f.message) (L.scan_file (fixture name)) in
+  (match msgs_of "bad_r1_global_mutable.ml" with
+  | m :: _ ->
+      Alcotest.(check bool) "R1 names the binding" true (contains ~affix:"\"hit_count\"" m)
+  | [] -> Alcotest.fail "no R1 findings");
+  match msgs_of "bad_r4_unit_mixing.ml" with
+  | m :: _ ->
+      Alcotest.(check bool) "R4 names both suffixes" true (contains ~affix:"_s vs _bps" m)
+  | [] -> Alcotest.fail "no R4 findings"
+
+let test_json_shape () =
+  let findings = L.scan_file (fixture "bad_r3_float_eq.ml") in
+  let json = L.render_json findings in
+  let has affix = contains ~affix json in
+  Alcotest.(check bool) "is an array" true
+    (String.length json > 1 && json.[0] = '[');
+  List.iter
+    (fun field -> Alcotest.(check bool) ("has " ^ field) true (has ("\"" ^ field ^ "\": ")))
+    [ "file"; "line"; "col"; "rule"; "message" ];
+  Alcotest.(check bool) "carries the path" true (has (fixture "bad_r3_float_eq.ml"));
+  Alcotest.(check bool) "carries the rule" true (has "\"rule\": \"R3\"")
+
+let test_json_empty () = Alcotest.(check string) "empty array" "[]\n" (L.render_json [])
+
+let test_allowlist_suppresses () =
+  let entry =
+    {
+      L.a_rule = "R1";
+      a_path = fixture "bad_r1_global_mutable.ml";
+      a_justification = "fixture";
+      a_line = 1;
+    }
+  in
+  let findings = L.scan_file (fixture "bad_r1_global_mutable.ml") in
+  let kept, stale = L.apply_allowlist [ entry ] findings in
+  Alcotest.(check int) "all R1 findings suppressed" 0 (List.length kept);
+  Alcotest.(check int) "entry is live" 0 (List.length stale);
+  (* The same entry against another rule's findings is stale. *)
+  let other = L.scan_file (fixture "bad_r3_float_eq.ml") in
+  let kept, stale = L.apply_allowlist [ entry ] other in
+  Alcotest.(check int) "R3 findings survive" 2 (List.length kept);
+  Alcotest.(check int) "entry reported stale" 1 (List.length stale)
+
+let with_temp_allow contents f =
+  let path = Filename.temp_file "lint_allow" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+let test_allowlist_parses () =
+  with_temp_allow
+    "# comment\n\nR1 lib/app/video.ml constant ladder, never mutated\n"
+    (fun path ->
+      match L.load_allowlist path with
+      | [ e ] ->
+          Alcotest.(check string) "rule" "R1" e.L.a_rule;
+          Alcotest.(check string) "path" "lib/app/video.ml" e.L.a_path;
+          Alcotest.(check string) "justification" "constant ladder, never mutated"
+            e.L.a_justification
+      | es -> Alcotest.fail (Printf.sprintf "expected 1 entry, got %d" (List.length es)))
+
+let test_allowlist_requires_justification () =
+  with_temp_allow "R1 lib/app/video.ml\n" (fun path ->
+      Alcotest.check_raises "bare entry rejected"
+        (L.Malformed_allow
+           "line 1: expected `RULE PATH JUSTIFICATION...`, got \"R1 lib/app/video.ml\"")
+        (fun () -> ignore (L.load_allowlist path)))
+
+let test_repo_tree_is_clean () =
+  (* The committed allowlist must cover the whole tree with no stale
+     entries — the same invariant `dune build @lint` gates CI on. *)
+  let in_root p = if repo_root = "." then p else Filename.concat repo_root p in
+  let findings =
+    L.scan_paths [ in_root "lib"; in_root "bin"; in_root "bench" ]
+    |> List.map (fun (f : L.finding) ->
+           match drop_prefix ~prefix:(repo_root ^ "/") f.file with
+           | Some rest -> { f with L.file = rest }
+           | None -> f)
+  in
+  let allow = L.load_allowlist (in_root "lint.allow") in
+  let kept, stale = L.apply_allowlist allow findings in
+  Alcotest.(check (list string)) "no findings"
+    [] (List.map L.render_finding kept);
+  Alcotest.(check (list string)) "no stale allow entries"
+    [] (List.map (fun e -> e.L.a_path) stale);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s entry for %s is justified" e.L.a_rule e.L.a_path)
+        true
+        (String.length e.L.a_justification > 10))
+    allow
+
+let suite =
+  [
+    Alcotest.test_case "R1 fixture: exact findings" `Quick test_r1;
+    Alcotest.test_case "R2 fixture: exact findings" `Quick test_r2;
+    Alcotest.test_case "R3 fixture: exact findings" `Quick test_r3;
+    Alcotest.test_case "R4 fixture: exact findings" `Quick test_r4;
+    Alcotest.test_case "annotated fixture: silent" `Quick test_annotations_silence;
+    Alcotest.test_case "R2: lib/runner is wall-clock exempt" `Quick test_r2_exemption;
+    Alcotest.test_case "messages name the problem" `Quick test_messages_name_the_problem;
+    Alcotest.test_case "json: shape and fields" `Quick test_json_shape;
+    Alcotest.test_case "json: empty input" `Quick test_json_empty;
+    Alcotest.test_case "allowlist: suppresses and reports stale" `Quick test_allowlist_suppresses;
+    Alcotest.test_case "allowlist: parses rule/path/justification" `Quick test_allowlist_parses;
+    Alcotest.test_case "allowlist: justification mandatory" `Quick
+      test_allowlist_requires_justification;
+    Alcotest.test_case "repo tree: lint-clean under lint.allow" `Quick test_repo_tree_is_clean;
+  ]

@@ -16,4 +16,6 @@ let () =
       ("runner", Test_runner.suite);
       ("obs", Test_obs.suite);
       ("timeline", Test_timeline.suite);
+      ("lint", Test_lint.suite);
+      ("determinism", Test_determinism.suite);
     ]

@@ -379,11 +379,41 @@ let test_table_mismatch_rejected () =
   Alcotest.check_raises "wrong arity" (Invalid_argument "Table.add_row: cell count mismatch")
     (fun () -> U.Table.add_row t [ "x"; "y" ])
 
+let test_feq_special_values () =
+  let eq = U.Feq.feq ~eps:0.0 in
+  Alcotest.(check bool) "inf = inf" true (eq infinity infinity);
+  Alcotest.(check bool) "-inf = -inf" true (eq neg_infinity neg_infinity);
+  Alcotest.(check bool) "inf <> -inf" false (eq infinity neg_infinity);
+  Alcotest.(check bool) "nan <> nan (as with =)" false (eq nan nan);
+  Alcotest.(check bool) "0. = -0. (as with =)" true (eq 0.0 (-0.0));
+  Alcotest.(check bool) "inf <> max_float" false (eq infinity max_float)
+
+let test_feq_tolerance () =
+  Alcotest.(check bool) "within eps" true (U.Feq.feq ~eps:1e-9 1.0 (1.0 +. 1e-10));
+  Alcotest.(check bool) "outside eps" false (U.Feq.feq ~eps:1e-12 1.0 (1.0 +. 1e-9));
+  Alcotest.(check bool) "fne negates" true (U.Feq.fne ~eps:1e-12 1.0 (1.0 +. 1e-9));
+  Alcotest.check_raises "negative eps rejected"
+    (Invalid_argument "Feq.feq: eps must be non-negative") (fun () ->
+      ignore (U.Feq.feq ~eps:(-1e-9) 1.0 1.0))
+
 (* --- QCheck properties ------------------------------------------------------------ *)
 
 let qcheck_tests =
   let open QCheck in
   [
+    (* The refactor contract behind replacing every bare float [=]:
+       at eps = 0 Feq.feq IS structural equality — over the full float
+       range including nan and the infinities — so fig2/fig3 verdicts
+       cannot move. *)
+    Test.make ~name:"feq ~eps:0. coincides with structural =" ~count:2000
+      (pair float float)
+      (fun (a, b) -> U.Feq.feq ~eps:0.0 a b = (a = b));
+    Test.make ~name:"feq ~eps:0. on equal floats matches = reflexivity" ~count:500
+      float
+      (fun a -> U.Feq.feq ~eps:0.0 a a = (a = a));
+    Test.make ~name:"fne is the negation of feq" ~count:500
+      (triple (float_range 0.0 1e-6) float float)
+      (fun (eps, a, b) -> U.Feq.fne ~eps a b = not (U.Feq.feq ~eps a b));
     Test.make ~name:"jain index in [1/n, 1]" ~count:500
       (list_of_size (Gen.int_range 1 20) (float_range 0.0 1000.0))
       (fun xs ->
@@ -477,5 +507,7 @@ let suite =
     ("ring buffer: stats and clear", `Quick, test_ring_buffer_stats);
     ("table: renders", `Quick, test_table_renders);
     ("table: arity check", `Quick, test_table_mismatch_rejected);
+    ("feq: special values behave like =", `Quick, test_feq_special_values);
+    ("feq: tolerance and fne", `Quick, test_feq_tolerance);
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

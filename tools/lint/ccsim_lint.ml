@@ -1,0 +1,64 @@
+(* ccsim-lint CLI: scan the given files/directories and fail on any
+   finding that is neither annotated inline nor covered by a reviewed
+   allowlist entry. Exit codes: 0 clean, 1 findings (or a stale or
+   malformed allowlist), 2 usage/scan errors. *)
+
+let usage () =
+  prerr_endline
+    "usage: ccsim_lint [--json] [--allow FILE] PATH...\n\
+     \n\
+     Scans every .ml under each PATH for determinism and data-race\n\
+     hazards (rules R1-R4, see tools/lint/RULES.md).\n\
+     \n\
+     \  --json        print findings as a JSON array on stdout\n\
+     \  --allow FILE  reviewed exceptions (default: no allowlist)";
+  exit 2
+
+let () =
+  let json = ref false in
+  let allow_file = ref None in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--allow" :: file :: rest ->
+        allow_file := Some file;
+        parse rest
+    | ("--help" | "-h" | "--allow") :: _ -> usage ()
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        Printf.eprintf "ccsim_lint: unknown option %s\n" arg;
+        usage ()
+    | path :: rest ->
+        paths := path :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then usage ();
+  match
+    let entries =
+      match !allow_file with None -> [] | Some f -> Lint_core.load_allowlist f
+    in
+    let findings = Lint_core.scan_paths (List.rev !paths) in
+    Lint_core.apply_allowlist entries findings
+  with
+  | exception Lint_core.Malformed_allow msg ->
+      Printf.eprintf "ccsim_lint: malformed allowlist: %s\n" msg;
+      exit 1
+  | exception Lint_core.Scan_error msg ->
+      Printf.eprintf "ccsim_lint: %s\n" msg;
+      exit 2
+  | findings, stale ->
+      if !json then print_string (Lint_core.render_json findings)
+      else List.iter (fun f -> print_endline (Lint_core.render_finding f)) findings;
+      List.iter
+        (fun (e : Lint_core.allow_entry) ->
+          Printf.eprintf
+            "ccsim_lint: stale allowlist entry (line %d): %s %s matches no finding -- delete it\n"
+            e.a_line e.a_rule e.a_path)
+        stale;
+      if findings <> [] then
+        Printf.eprintf "ccsim_lint: %d finding(s); fix them or add a justified lint.allow entry\n"
+          (List.length findings);
+      exit (if findings <> [] || stale <> [] then 1 else 0)

@@ -1,0 +1,474 @@
+(* ccsim-lint: determinism & data-race static analysis over the
+   simulator sources.
+
+   The reproduction rests on two invariants the type system cannot see:
+   every experiment is bit-deterministic (runner cache digests and the
+   offline `analyze` agreement both depend on it), and nothing shares
+   mutable state across the Ccsim_runner domain pool. This pass makes
+   the PR 1 hand audit machine-checked:
+
+   R1  top-level mutable state (ref / Hashtbl.create / arrays / queues /
+       buffers at module scope) must be Atomic.t, Domain.DLS-keyed, or
+       carry an explicit (* lint: domain-local *) annotation or a
+       lint.allow entry -- the domain-pool race detector.
+   R2  nondeterminism sources in sim code: Random.*, wall-clock reads
+       (Unix.gettimeofday / Unix.time / Sys.time / ...) outside
+       lib/runner and lib/obs, and order-dependent Hashtbl.iter/fold.
+   R3  structural float equality (= / <> applied to float-looking
+       operands), which silently breaks change-point and elasticity
+       thresholds; use Ccsim_util.Feq.feq ~eps instead.
+   R4  unit-suffix mixing: additive or comparison operators whose two
+       operands carry different unit suffixes (_s vs _bps vs _bytes ...).
+
+   The walk is a heuristic parsetree pass (no type information): it
+   errs toward silence on constructs it cannot classify, and every
+   finding can be suppressed by an inline annotation or a reviewed
+   lint.allow entry carrying a justification. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let compare_finding a b =
+  match compare a.file b.file with
+  | 0 -> (
+      match compare a.line b.line with
+      | 0 -> ( match compare a.col b.col with 0 -> compare a.rule b.rule | c -> c)
+      | c -> c)
+  | c -> c
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist: one reviewed exception per line, `RULE PATH JUSTIFICATION`.
+   The justification is mandatory -- an entry without one is itself an
+   error, as is an entry that no longer matches any finding (stale). *)
+
+type allow_entry = {
+  a_rule : string;
+  a_path : string;
+  a_justification : string;
+  a_line : int;
+}
+
+exception Malformed_allow of string
+
+let parse_allow_line ~line_no line =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' then None
+  else
+    match String.split_on_char ' ' trimmed with
+    | rule :: path :: rest when rest <> [] ->
+        let justification = String.trim (String.concat " " rest) in
+        if justification = "" then
+          raise
+            (Malformed_allow
+               (Printf.sprintf "line %d: missing justification for %s %s" line_no rule path))
+        else Some { a_rule = rule; a_path = path; a_justification = justification; a_line = line_no }
+    | _ ->
+        raise
+          (Malformed_allow
+             (Printf.sprintf "line %d: expected `RULE PATH JUSTIFICATION...`, got %S" line_no
+                trimmed))
+
+let load_allowlist path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let entries = ref [] in
+    let line_no = ref 0 in
+    (try
+       while true do
+         incr line_no;
+         let line = input_line ic in
+         match parse_allow_line ~line_no:!line_no line with
+         | Some e -> entries := e :: !entries
+         | None -> ()
+       done
+     with End_of_file -> close_in ic);
+    List.rev !entries
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Inline annotations. The parser drops comments, so suppressions are
+   recovered from the raw source text: an annotation on line L covers
+   findings on lines L and L+1 (comment-above or comment-at-end-of-line
+   styles both work).
+
+     (* lint: domain-local *)      suppresses R1
+     (* lint: allow R2 R3 *)       suppresses the listed rules *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let rules_of_annotation line =
+  let rules = if contains ~needle:"lint: domain-local" line then [ "R1" ] else [] in
+  if not (contains ~needle:"lint: allow" line) then rules
+  else begin
+    (* Take every R<digits> token after the marker. *)
+    let idx =
+      let nl = String.length "lint: allow" and hl = String.length line in
+      let rec go i = if i + nl > hl then hl else if String.sub line i nl = "lint: allow" then i + nl else go (i + 1) in
+      go 0
+    in
+    let tail = String.sub line idx (String.length line - idx) in
+    let tokens =
+      String.split_on_char ' ' (String.map (fun c -> if c = '*' || c = ')' || c = ',' then ' ' else c) tail)
+    in
+    let explicit =
+      List.filter
+        (fun t ->
+          String.length t >= 2
+          && t.[0] = 'R'
+          && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub t 1 (String.length t - 1)))
+        tokens
+    in
+    rules @ explicit
+  end
+
+(* Map line number -> rules suppressed on that line. *)
+let suppressions_of_source src =
+  let table = Hashtbl.create 8 in
+  let add line rule = Hashtbl.replace table (line, rule) () in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun i line ->
+      let l = i + 1 in
+      List.iter
+        (fun rule ->
+          add l rule;
+          add (l + 1) rule)
+        (rules_of_annotation line))
+    lines;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* AST helpers *)
+
+open Parsetree
+
+let pos_of loc =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let last_component lid = match List.rev (Longident.flatten lid) with [] -> "" | x :: _ -> x
+
+let has_component name lid = List.mem name (Longident.flatten lid)
+
+(* The final expression a top-level binding evaluates to, looking
+   through let/open/sequence/constraint wrappers:
+   `let t = let h = Hashtbl.create 4 in h` is still module state. *)
+let rec binding_head e =
+  match e.pexp_desc with
+  | Pexp_let (_, _, body) -> binding_head body
+  | Pexp_open (_, body) -> binding_head body
+  | Pexp_sequence (_, body) -> binding_head body
+  | Pexp_constraint (e, _) -> binding_head e
+  | _ -> e
+
+(* Constructors of shared-mutable values at module scope. Atomic.make
+   and Domain.DLS.new_key are the sanctioned alternatives and exempt. *)
+let mutable_constructor e =
+  match e.pexp_desc with
+  | Pexp_array _ -> Some "array literal"
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match Longident.flatten txt with
+      | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some "ref"
+      | [ "Hashtbl"; "create" ] | [ "Stdlib"; "Hashtbl"; "create" ] -> Some "Hashtbl.create"
+      | [ "Array"; ("make" | "init" | "create_float" | "of_list" | "copy") ]
+      | [ "Stdlib"; "Array"; ("make" | "init" | "create_float" | "of_list" | "copy") ] ->
+          Some "Array allocation"
+      | [ "Queue"; "create" ] -> Some "Queue.create"
+      | [ "Stack"; "create" ] -> Some "Stack.create"
+      | [ "Buffer"; "create" ] -> Some "Buffer.create"
+      | [ "Bytes"; ("create" | "make" | "of_string") ] -> Some "Bytes allocation"
+      | _ -> None)
+  | _ -> None
+
+(* Longidents whose mere use is a nondeterminism source (R2). *)
+let wall_clock_ident lid =
+  match Longident.flatten lid with
+  | [ "Unix"; ("gettimeofday" | "time" | "localtime" | "gmtime" | "mktime") ] ->
+      Some ("Unix." ^ last_component lid)
+  | [ "Sys"; "time" ] -> Some "Sys.time"
+  | _ -> None
+
+let float_suffixes =
+  [ "_s"; "_ms"; "_us"; "_bps"; "_kbps"; "_mbps"; "_gbps"; "_hz"; "_frac"; "_pct"; "_ratio"; "_eps" ]
+
+let unit_suffixes =
+  [ "_s"; "_ms"; "_us"; "_bps"; "_kbps"; "_mbps"; "_gbps"; "_bytes"; "_pkts"; "_hz" ]
+
+let suffix_of suffixes name =
+  List.find_opt
+    (fun suf ->
+      let nl = String.length name and sl = String.length suf in
+      nl > sl && String.sub name (nl - sl) sl = suf)
+    suffixes
+
+let float_operators = [ "+."; "-."; "*."; "/."; "**" ]
+
+(* Heuristic: does this expression look float-typed? Used by R3 on the
+   operands of = / <>. No typedtree, so only obviously-float shapes
+   count: float literals, float arithmetic, Float.* accessors, deref of
+   and fields/idents with a float-ish unit suffix. *)
+let rec floatish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt = Longident.Lident ("infinity" | "neg_infinity" | "nan" | "epsilon_float" | "max_float" | "min_float"); _ } ->
+      true
+  | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Float", _); _ } -> true
+  | Pexp_ident { txt; _ } -> suffix_of float_suffixes (last_component txt) <> None
+  | Pexp_field (_, { txt; _ }) -> suffix_of float_suffixes (last_component txt) <> None
+  | Pexp_constraint (inner, { ptyp_desc = Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []); _ }) ->
+      ignore inner;
+      true
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident "!"; _ }; _ }, [ (_, inner) ]) ->
+      floatish inner
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ }, _)
+    when List.mem op float_operators ->
+      true
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Ldot (Longident.Lident "Float", fn); _ }; _ }, _)
+    when not (List.mem fn [ "to_int"; "compare"; "equal"; "is_integer"; "is_finite"; "is_nan"; "sign_bit" ]) ->
+      true
+  | _ -> false
+
+let unit_suffix_of_operand e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> suffix_of unit_suffixes (last_component txt)
+  | Pexp_field (_, { txt; _ }) -> suffix_of unit_suffixes (last_component txt)
+  | _ -> None
+
+let additive_or_comparison = [ "+."; "-."; "+"; "-"; "<"; "<="; ">"; ">="; "="; "<>" ]
+
+(* ------------------------------------------------------------------ *)
+(* The per-file scan *)
+
+type context = {
+  file : string;  (* path as reported in findings *)
+  wall_clock_exempt : bool;  (* lib/runner + lib/obs may read the clock *)
+  mutable findings : finding list;
+}
+
+let emit ctx loc rule message =
+  let line, col = pos_of loc in
+  ctx.findings <- ({ file = ctx.file; line; col; rule; message } : finding) :: ctx.findings
+
+let check_expr ctx e =
+  (* Uses are checked on the bare ident: the iterator visits the callee
+     of every application, so applications are covered without double
+     counting. *)
+  (match e.pexp_desc with
+  | Pexp_ident { txt; loc } -> (
+      (if has_component "Random" txt then
+         emit ctx loc "R2"
+           (Printf.sprintf
+              "nondeterminism: %s uses the global Random; use the seeded per-sim Ccsim_util.Rng instead"
+              (String.concat "." (Longident.flatten txt))));
+      (match wall_clock_ident txt with
+      | Some name when not ctx.wall_clock_exempt ->
+          emit ctx loc "R2"
+            (Printf.sprintf
+               "nondeterminism: wall-clock read %s outside lib/runner telemetry and lib/obs \
+                profiling; route through Ccsim_runner.Telemetry.now_s or Ccsim_obs.Profile.wall_now"
+               name)
+      | Some _ | None -> ());
+      match Longident.flatten txt with
+      | [ "Hashtbl"; (("iter" | "fold") as op) ] ->
+          emit ctx loc "R2"
+            (Printf.sprintf
+               "nondeterminism: Hashtbl.%s visits bindings in hash order; iterate a deterministic \
+                key list (or sort, then allowlist with a justification)"
+               op)
+      | _ -> ())
+  | _ -> ());
+  match e.pexp_desc with
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); loc; _ }; _ },
+       [ (_, a); (_, b) ]) ->
+      (if floatish a || floatish b then
+         emit ctx loc "R3"
+           (Printf.sprintf
+              "structural float %s: silently breaks detector thresholds on representation \
+               changes; use Ccsim_util.Feq.feq ~eps (eps = 0. preserves exact semantics)"
+              op));
+      (match (unit_suffix_of_operand a, unit_suffix_of_operand b) with
+      | Some sa, Some sb when sa <> sb ->
+          emit ctx loc "R4"
+            (Printf.sprintf "unit mismatch: operands of %s carry different unit suffixes (%s vs %s)"
+               op sa sb)
+      | _ -> ())
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; loc; _ }; _ }, [ (_, a); (_, b) ])
+    when List.mem op additive_or_comparison -> (
+      match (unit_suffix_of_operand a, unit_suffix_of_operand b) with
+      | Some sa, Some sb when sa <> sb ->
+          emit ctx loc "R4"
+            (Printf.sprintf "unit mismatch: operands of %s carry different unit suffixes (%s vs %s)"
+               op sa sb)
+      | _ -> ())
+  | _ -> ()
+
+let expr_iterator ctx =
+  let default = Ast_iterator.default_iterator in
+  {
+    default with
+    expr =
+      (fun self e ->
+        check_expr ctx e;
+        default.expr self e);
+  }
+
+(* R1: walk structure items, descending into plain sub-modules (their
+   bindings are just as module-global) but not into expressions --
+   locals inside functions are per-call and safe. *)
+let rec check_structure_r1 ctx str =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, bindings) ->
+          List.iter
+            (fun vb ->
+              let head = binding_head vb.pvb_expr in
+              match mutable_constructor head with
+              | Some what ->
+                  let name =
+                    match vb.pvb_pat.ppat_desc with
+                    | Ppat_var { txt; _ } -> txt
+                    | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> txt
+                    | _ -> "_"
+                  in
+                  emit ctx vb.pvb_pat.ppat_loc "R1"
+                    (Printf.sprintf
+                       "top-level mutable state: %S is a %s at module scope and races under the \
+                        runner domain pool; make it Atomic.t, Domain.DLS-keyed, per-instance \
+                        state, or annotate (* lint: domain-local *) with care"
+                       name what)
+              | None -> ())
+            bindings
+      | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure sub; _ }; _ } ->
+          check_structure_r1 ctx sub
+      | _ -> ())
+    str
+
+let scan_source ~file ?(wall_clock_exempt = false) src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf file;
+  let str = Parse.implementation lexbuf in
+  let ctx = { file; wall_clock_exempt; findings = [] } in
+  check_structure_r1 ctx str;
+  let it = expr_iterator ctx in
+  it.Ast_iterator.structure it str;
+  let suppressed = suppressions_of_source src in
+  let findings =
+    List.filter
+      (fun (f : finding) -> not (Hashtbl.mem suppressed (f.line, f.rule)))
+      ctx.findings
+  in
+  List.sort_uniq compare_finding findings
+
+(* Directories whose files may read the wall clock (R2 exemption): run
+   telemetry and engine profiling are about the host, not the sim. *)
+let wall_clock_exempt_dirs = [ "lib/runner"; "lib/obs" ]
+
+let normalize path =
+  String.concat "/" (List.filter (fun c -> c <> "" && c <> ".") (String.split_on_char '/' path))
+
+(* Exemption is by repo-relative directory, so leading parent segments
+   (a scan rooted above the repo, as the test suite does) are ignored. *)
+let is_exempt path =
+  let rec strip = function ".." :: rest -> strip rest | segs -> segs in
+  let p = String.concat "/" (strip (String.split_on_char '/' (normalize path))) in
+  List.exists
+    (fun dir ->
+      let dl = String.length dir in
+      String.length p > dl && String.sub p 0 dl = dir && p.[dl] = '/')
+    wall_clock_exempt_dirs
+
+exception Scan_error of string
+
+let scan_file path =
+  let src =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> raise (Scan_error msg)
+  in
+  try scan_source ~file:(normalize path) ~wall_clock_exempt:(is_exempt path) src
+  with exn -> (
+    match Location.error_of_exn exn with
+    | Some (`Ok _) | Some `Already_displayed ->
+        raise (Scan_error (Printf.sprintf "%s: syntax error" path))
+    | None -> raise exn)
+
+let rec ml_files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun entry -> ml_files_under (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let scan_paths paths =
+  let files = List.concat_map ml_files_under paths in
+  List.sort compare_finding (List.concat_map scan_file files)
+
+(* ------------------------------------------------------------------ *)
+(* Applying the allowlist: an entry matches every finding of its rule in
+   its file. Returns surviving findings plus entries that matched
+   nothing (stale -- reported so the file cannot rot). *)
+
+let apply_allowlist entries findings =
+  let used = Hashtbl.create 8 in
+  let survives (f : finding) =
+    match
+      List.find_opt (fun e -> e.a_rule = f.rule && normalize e.a_path = f.file) entries
+    with
+    | Some e ->
+        Hashtbl.replace used (e.a_rule, e.a_path) ();
+        false
+    | None -> true
+  in
+  let kept = List.filter survives findings in
+  let stale = List.filter (fun e -> not (Hashtbl.mem used (e.a_rule, e.a_path))) entries in
+  (kept, stale)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let render_finding (f : finding) =
+  Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json findings =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i (f : finding) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Printf.bprintf buf
+        "\n  {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \"message\": \"%s\"}"
+        (json_escape f.file) f.line f.col f.rule (json_escape f.message))
+    findings;
+  if findings <> [] then Buffer.add_string buf "\n";
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf

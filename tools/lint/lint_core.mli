@@ -1,0 +1,55 @@
+(** ccsim-lint rule engine: a heuristic parsetree pass enforcing the
+    determinism and data-race catalogue (R1-R4) over simulator sources.
+    See tools/lint/RULES.md for the rule catalogue and escape hatches. *)
+
+type finding = {
+  file : string;  (** normalized, '/'-separated relative path *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as in compiler diagnostics *)
+  rule : string;  (** "R1" .. "R4" *)
+  message : string;
+}
+
+val compare_finding : finding -> finding -> int
+(** Order by (file, line, col, rule) — the stable output order. *)
+
+type allow_entry = {
+  a_rule : string;
+  a_path : string;
+  a_justification : string;  (** mandatory, human-readable *)
+  a_line : int;
+}
+
+exception Malformed_allow of string
+(** Raised by {!load_allowlist} on an entry without a justification or
+    that does not parse as [RULE PATH JUSTIFICATION...]. *)
+
+exception Scan_error of string
+(** Raised on unreadable or unparseable input. *)
+
+val load_allowlist : string -> allow_entry list
+(** Parse a lint.allow file. A missing file is an empty allowlist;
+    blank lines and [#] comments are skipped. *)
+
+val scan_source : file:string -> ?wall_clock_exempt:bool -> string -> finding list
+(** Scan one compilation unit given as source text. [file] is used for
+    reporting and inline-annotation resolution. *)
+
+val scan_file : string -> finding list
+(** Scan one [.ml] file; wall-clock exemption is derived from its path
+    (lib/runner and lib/obs may read the host clock). *)
+
+val scan_paths : string list -> finding list
+(** Scan every [.ml] under the given files/directories, sorted. *)
+
+val apply_allowlist : allow_entry list -> finding list -> finding list * allow_entry list
+(** [(surviving_findings, stale_entries)]: an entry suppresses every
+    finding of its rule in its file; entries matching nothing are
+    returned as stale so the allowlist cannot rot. *)
+
+val render_finding : finding -> string
+(** [file:line:col [rule] message] *)
+
+val render_json : finding list -> string
+(** Machine-readable output for [--json]: a JSON array of objects with
+    file/line/col/rule/message fields. *)
