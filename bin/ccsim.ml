@@ -30,6 +30,26 @@ let flows_arg default =
   let doc = "Synthetic population size (flows/candidates to generate)." in
   Arg.(value & opt int default & info [ "flows" ] ~docv:"N" ~doc)
 
+let backend_arg =
+  let doc =
+    "Simulation backend: $(b,packet) (discrete-event), $(b,fluid) (per-flow rate ODEs), \
+     or $(b,hybrid) (packet foreground against fluid background aggregates). Defaults to \
+     the experiment's first supported backend."
+  in
+  Arg.(value & opt (some string) None & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+(* Reject a backend the experiment does not support before any job is
+   built; same exit code as the other CLI usage errors. *)
+let validate_backend (e : E.t) = function
+  | None -> None
+  | Some b ->
+      if List.mem b e.backends then Some b
+      else begin
+        Printf.eprintf "ccsim %s: unsupported backend %S (supported: %s)\n" e.id b
+          (String.concat ", " e.backends);
+        exit 124
+      end
+
 let jobs_arg =
   let doc = "Worker domains; 1 runs serially (bit-identical to the pre-runner CLI)." in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
@@ -275,9 +295,11 @@ let export_obs cfg handles =
     (fun h -> Option.map (fun p -> (h.job_name, Obs.Profile.to_json p)) h.j_profile)
     handles
 
-let job_of ?duration ?n ~seed ~obs (e : E.t) =
-  let params = E.effective_params e ?duration ?n ~seed () in
-  let thunk, handle = wrap_thunk obs ~name:e.id (fun () -> e.render ?duration ?n ~seed ()) in
+let job_of ?backend ?duration ?n ~seed ~obs (e : E.t) =
+  let params = E.effective_params e ?backend ?duration ?n ~seed () in
+  let thunk, handle =
+    wrap_thunk obs ~name:e.id (fun () -> e.render ?backend ?duration ?n ~seed ())
+  in
   let job =
     R.Job.make ~name:e.id ~digest:(R.Job.digest_of_params ~name:e.id params) thunk
   in
@@ -320,23 +342,29 @@ let exp_cmd (e : E.t) =
   let info = Cmd.info e.id ~doc:e.title in
   match e.kind with
   | E.Timed default ->
-      let run duration seed jobs report obs =
-        let job, handle = job_of ~duration ~seed ~obs e in
+      let run duration seed backend jobs report obs =
+        let backend = validate_backend e backend in
+        let job, handle = job_of ?backend ~duration ~seed ~obs e in
         exit
           (run_and_report ~jobs ~no_cache:true ~report ~telemetry_to:None ~obs
              ~handles:(Option.to_list handle) [ job ])
       in
       Cmd.v info
-        Term.(const run $ duration_arg default $ seed_arg $ jobs_arg $ report_arg $ obs_cfg_term)
+        Term.(
+          const run $ duration_arg default $ seed_arg $ backend_arg $ jobs_arg $ report_arg
+          $ obs_cfg_term)
   | E.Sized default ->
-      let run n seed jobs report obs =
-        let job, handle = job_of ~n ~seed ~obs e in
+      let run n seed backend jobs report obs =
+        let backend = validate_backend e backend in
+        let job, handle = job_of ?backend ~n ~seed ~obs e in
         exit
           (run_and_report ~jobs ~no_cache:true ~report ~telemetry_to:None ~obs
              ~handles:(Option.to_list handle) [ job ])
       in
       Cmd.v info
-        Term.(const run $ flows_arg default $ seed_arg $ jobs_arg $ report_arg $ obs_cfg_term)
+        Term.(
+          const run $ flows_arg default $ seed_arg $ backend_arg $ jobs_arg $ report_arg
+          $ obs_cfg_term)
 
 let all_cmd =
   let run seed jobs no_cache report obs =
@@ -363,6 +391,11 @@ let list_cmd =
           | E.Timed d -> Printf.sprintf "duration %gs" d
           | E.Sized n -> Printf.sprintf "population %d" n
         in
+        let default =
+          match e.backends with
+          | [] | [ _ ] -> default
+          | bs -> default ^ ", " ^ String.concat "|" bs
+        in
         Printf.printf "%-6s %-14s %s\n" e.id ("[" ^ default ^ "]") e.title)
       E.all
   in
@@ -382,11 +415,26 @@ let sweep_cmd =
   let durations_arg =
     let doc =
       "Comma-separated durations axis (seconds). Applies to timed experiments; sized ones \
-       (fig2, a2) keep their population and run once per seed."
+       (fig2, a2, p1) keep their population and run once per seed."
     in
     Arg.(value & opt (list float) [] & info [ "durations" ] ~docv:"SECONDS" ~doc)
   in
-  let run ids seeds durations jobs no_cache report obs =
+  let populations_arg =
+    let doc =
+      "Comma-separated population-size axis. Applies to sized experiments (fig2, a2, p1); \
+       timed ones ignore it and run once per (seed, duration)."
+    in
+    Arg.(value & opt (list int) [] & info [ "populations" ] ~docv:"N" ~doc)
+  in
+  let backends_arg =
+    let doc =
+      "Comma-separated backend axis (packet, fluid, hybrid). Points pairing an experiment \
+       with a backend it does not support are skipped; single-backend experiments run \
+       once regardless."
+    in
+    Arg.(value & opt (list string) [] & info [ "backends" ] ~docv:"BACKENDS" ~doc)
+  in
+  let run ids seeds durations populations backends jobs no_cache report obs =
     let no_cache = no_cache || obs_enabled obs in
     let ids = if ids = [] then List.map (fun (e : E.t) -> e.id) E.all else ids in
     let experiments =
@@ -402,9 +450,12 @@ let sweep_cmd =
     let axes =
       [ R.Sweep.axis "exp" ids; R.Sweep.ints "seed" seeds ]
       @ (if durations = [] then [] else [ R.Sweep.floats "duration" durations ])
+      @ (if populations = [] then [] else [ R.Sweep.ints "n" populations ])
+      @ if backends = [] then [] else [ R.Sweep.axis "backend" backends ]
     in
-    (* Sized experiments ignore the duration axis; dedupe by digest so
-       they run once per seed rather than once per (seed, duration). *)
+    (* Each experiment reads only the axes that apply to it (duration
+       for timed, population for sized, backend for multi-backend);
+       dedupe by digest so the irrelevant axes do not multiply runs. *)
     let seen = Hashtbl.create 64 in
     let pairs =
       List.filter_map
@@ -413,18 +464,35 @@ let sweep_cmd =
           let e = List.find (fun (e : E.t) -> e.id = id) experiments in
           let seed = int_of_string (Option.get (R.Sweep.get point "seed")) in
           let duration = Option.map float_of_string (R.Sweep.get point "duration") in
-          let params = E.effective_params e ?duration ~seed () in
-          let digest = R.Job.digest_of_params ~name:e.id params in
-          if Hashtbl.mem seen digest then None
+          let n = Option.map int_of_string (R.Sweep.get point "n") in
+          let backend =
+            match R.Sweep.get point "backend" with
+            | Some b when List.length e.backends > 1 ->
+                if List.mem b e.backends then Some b else None
+            | Some _ | None -> None
+          in
+          let skip_unsupported =
+            match R.Sweep.get point "backend" with
+            | Some b -> List.length e.backends > 1 && not (List.mem b e.backends)
+            | None -> false
+          in
+          if skip_unsupported then None
           else begin
-            Hashtbl.add seen digest ();
-            (* Name from the effective params, not the sweep point: sized
-               experiments ignore the duration axis. *)
-            let name =
-              String.concat " " (e.id :: List.map (fun (k, v) -> k ^ "=" ^ v) params)
-            in
-            let thunk, handle = wrap_thunk obs ~name (fun () -> e.render ?duration ~seed ()) in
-            Some (R.Job.make ~name ~digest thunk, handle)
+            let params = E.effective_params e ?backend ?duration ?n ~seed () in
+            let digest = R.Job.digest_of_params ~name:e.id params in
+            if Hashtbl.mem seen digest then None
+            else begin
+              Hashtbl.add seen digest ();
+              (* Name from the effective params, not the sweep point:
+                 experiments ignore the axes that do not apply to them. *)
+              let name =
+                String.concat " " (e.id :: List.map (fun (k, v) -> k ^ "=" ^ v) params)
+              in
+              let thunk, handle =
+                wrap_thunk obs ~name (fun () -> e.render ?backend ?duration ?n ~seed ())
+              in
+              Some (R.Job.make ~name ~digest thunk, handle)
+            end
           end)
         (R.Sweep.points axes)
     in
@@ -460,8 +528,8 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:"Cross-product sweep over experiments x seeds x durations on a domain pool")
     Term.(
-      const run $ ids_arg $ seeds_arg $ durations_arg $ jobs_arg $ no_cache_arg $ report_arg
-      $ obs_cfg_term)
+      const run $ ids_arg $ seeds_arg $ durations_arg $ populations_arg $ backends_arg
+      $ jobs_arg $ no_cache_arg $ report_arg $ obs_cfg_term)
 
 let analyze_cmd =
   let file_arg =

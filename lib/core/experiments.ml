@@ -6,11 +6,32 @@ type t = {
   id : string;
   title : string;
   kind : kind;
-  render : ?duration:float -> ?n:int -> seed:int -> unit -> string;
+  backends : string list;
+  render : ?backend:string -> ?duration:float -> ?n:int -> seed:int -> unit -> string;
 }
 
-let timed id title default render = { id; title; kind = Timed default; render }
-let sized id title default render = { id; title; kind = Sized default; render }
+let timed id title default render =
+  {
+    id;
+    title;
+    kind = Timed default;
+    backends = [ "packet" ];
+    render = (fun ?backend:_ ?duration ?n ~seed () -> render ?duration ?n ~seed ());
+  }
+
+let sized id title default render =
+  {
+    id;
+    title;
+    kind = Sized default;
+    backends = [ "packet" ];
+    render = (fun ?backend:_ ?duration ?n ~seed () -> render ?duration ?n ~seed ());
+  }
+
+(* Experiments that run on more than one backend list them explicitly
+   (first = default) and receive the validated [backend] string. *)
+let sized_multi id title default backends render =
+  { id; title; kind = Sized default; backends; render }
 
 let all =
   [
@@ -50,15 +71,32 @@ let all =
       (fun ?duration ?n:_ ~seed () -> A3_quantum_ablation.(render (run ?duration ~seed ())));
     timed "a4" "Ablation: buffer depth vs BBR/Reno share" 60.0
       (fun ?duration ?n:_ ~seed () -> A4_buffer_ablation.(render (run ?duration ~seed ())));
+    sized_multi "p1" "Contention prevalence across a fluid/hybrid user population" 2000
+      [ "fluid"; "hybrid" ]
+      (fun ?backend ?duration:_ ?n ~seed () ->
+        let backend =
+          match backend with
+          | None -> P1_prevalence.Fluid
+          | Some s -> (
+              match P1_prevalence.backend_of_string s with
+              | Some b -> b
+              | None -> invalid_arg (Printf.sprintf "p1: unsupported backend %S" s))
+        in
+        P1_prevalence.(render (run ?n ~seed ~backend ())));
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let effective_params e ?duration ?n ~seed () =
+let effective_params e ?backend ?duration ?n ~seed () =
   let main =
     match e.kind with
     | Timed default ->
         ("duration", Printf.sprintf "%g" (Option.value duration ~default))
     | Sized default -> ("n", string_of_int (Option.value n ~default))
   in
-  [ main; ("seed", string_of_int seed) ]
+  let base = [ main; ("seed", string_of_int seed) ] in
+  (* Single-backend experiments keep their historical parameter set, so
+     cached results from before the backend axis stay valid. *)
+  match e.backends with
+  | [] | [ _ ] -> base
+  | default :: _ -> base @ [ ("backend", Option.value backend ~default) ]

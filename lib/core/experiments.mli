@@ -5,7 +5,7 @@
     its default parameterization, and a closure running the experiment
     and rendering its paper-style rows to a string. The CLI, the bench
     harness, and the runner subsystem all enumerate experiments through
-    this table instead of hard-coding the eighteen modules. *)
+    this table instead of hard-coding the experiment modules. *)
 
 type kind =
   | Timed of float  (** default simulated seconds per scenario *)
@@ -15,10 +15,17 @@ type t = {
   id : string;  (** CLI subcommand name, e.g. ["fig1"] *)
   title : string;  (** one-line description (CLI doc string) *)
   kind : kind;
-  render : ?duration:float -> ?n:int -> seed:int -> unit -> string;
+  backends : string list;
+      (** Supported simulation backends, first = default. [["packet"]]
+          for the classic DES experiments; population experiments list
+          ["fluid"]/["hybrid"]. The CLI validates [--backend] against
+          this list. *)
+  render : ?backend:string -> ?duration:float -> ?n:int -> seed:int -> unit -> string;
       (** Run the experiment and render its report. [Timed] experiments
           read [duration] and ignore [n]; [Sized] ones the reverse.
-          Omitted parameters fall back to the experiment's defaults. *)
+          Omitted parameters fall back to the experiment's defaults.
+          [backend] must be one of [backends] (single-backend
+          experiments ignore it). *)
 }
 
 val all : t list
@@ -28,8 +35,11 @@ val all : t list
 val find : string -> t option
 (** Look up an experiment by [id]. *)
 
-val effective_params : t -> ?duration:float -> ?n:int -> seed:int -> unit -> (string * string) list
+val effective_params :
+  t -> ?backend:string -> ?duration:float -> ?n:int -> seed:int -> unit -> (string * string) list
 (** Canonical [(key, value)] parameters for a run — the actually
-    effective duration/size (defaults applied) plus the seed. Runner job
-    digests are derived from these, so a parameter change invalidates
-    the cached result. *)
+    effective duration/size (defaults applied) plus the seed, plus the
+    backend for multi-backend experiments (single-backend experiments
+    omit it, keeping their historical digests). Runner job digests are
+    derived from these, so a parameter change invalidates the cached
+    result. *)

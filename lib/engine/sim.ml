@@ -37,6 +37,10 @@ let install_driver t ~interval ~comp f =
   t.driver_pending <- t.driver_pending + 1;
   ignore (Event_heap.add t.heap ~time:(t.clock +. interval) tick)
 
+let periodic_driver t ~interval ~comp f =
+  if interval <= 0.0 then invalid_arg "Sim.periodic_driver: interval must be positive";
+  install_driver t ~interval ~comp f
+
 let sample_probes t () =
   List.iter
     (fun (s, probe) -> Obs.Timeline.record s ~time:t.clock ~value:(probe ()))

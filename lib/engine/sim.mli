@@ -92,6 +92,15 @@ val stop : t -> unit
 (** Make the current {!run} return after the in-progress event completes;
     pending events remain queued. *)
 
+val periodic_driver : t -> interval:float -> comp:string -> (unit -> unit) -> unit
+(** Install a periodic driver tick, like the built-in timeline and
+    watchdog drivers: [f] runs every [interval] seconds charged to
+    component [comp], but only reschedules itself while non-driver
+    events remain, so drivers never keep an otherwise-drained run
+    alive. Use for engines coupled to the sim clock (e.g. the fluid
+    stepper) rather than {!every}, which would pin the run at its
+    horizon. [interval] must be positive. *)
+
 val every : t -> interval:float -> ?start:float -> ?stop_after:float -> (unit -> unit) -> unit
 (** [every sim ~interval f] runs [f] at [start] (default [now + interval])
     and every [interval] thereafter, until [stop_after] (absolute time,

@@ -1,0 +1,12 @@
+type t = Packet | Fluid | Hybrid
+
+let name = function Packet -> "packet" | Fluid -> "fluid" | Hybrid -> "hybrid"
+
+let of_name = function
+  | "packet" -> Some Packet
+  | "fluid" -> Some Fluid
+  | "hybrid" -> Some Hybrid
+  | _ -> None
+
+let all = [ Packet; Fluid; Hybrid ]
+let names = List.map name all

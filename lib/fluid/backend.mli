@@ -1,0 +1,15 @@
+(** Simulation backend selector.
+
+    [Packet] is the discrete-event engine; [Fluid] integrates every
+    flow as a rate ODE ({!Fluid_engine}); [Hybrid] runs packet-level
+    foreground flows against fluid background aggregates coupled
+    through the links ({!Fluid_driver}). Experiments declare which
+    backends they support ([Ccsim_core.Experiments]); the CLI parses
+    [--backend] with {!of_name}. *)
+
+type t = Packet | Fluid | Hybrid
+
+val name : t -> string
+val of_name : string -> t option
+val all : t list
+val names : string list

@@ -1,0 +1,52 @@
+(** Per-flow fluid (rate-ODE) CCA models.
+
+    Each model maps a scalar state — a congestion window in packets for
+    the loss-based CCAs, a pacing rate in bit/s for BBR — plus the link
+    signals (RTT, fluid loss probability, delivered service ratio) to a
+    time derivative. The engine integrates one such scalar per flow;
+    everything here is branch-light arithmetic on unboxed floats so a
+    million-flow population steps in a few flow-passes per tick.
+
+    Model fidelity targets steady-state throughput shares (the quantity
+    the cross-validation test compares against the packet engine), not
+    packet-timescale dynamics: Reno is the Misra–Gong–Towsley AIMD
+    fluid, CUBIC its TCP-friendly AIMD equivalent, and BBR a
+    rate-convergence model with probe-gain and inflight-cap regimes. *)
+
+type t = Reno | Cubic | Bbr
+
+val index : t -> int
+(** Dense tag (0, 1, 2) for struct-of-arrays storage. *)
+
+val of_index : int -> t
+(** Inverse of {!index}; raises [Invalid_argument] on other ints. *)
+
+val name : t -> string
+
+val of_name : string -> t option
+(** Parses ["reno"], ["cubic"], ["bbr"]. *)
+
+val pkt_bytes : int
+(** Wire size of a full segment (MSS + headers); fluid rates are wire
+    rates. *)
+
+val pkt_bits : float
+
+val initial_state : tag:int -> rtt_s:float -> float
+(** State on activation: IW10 for window models, 10 packets per base
+    RTT (as a rate) for BBR. *)
+
+val rate_bps : tag:int -> w:float -> rtt_s:float -> float
+(** Instantaneous wire sending rate of a flow with state [w]. *)
+
+val deriv :
+  tag:int ->
+  w:float ->
+  rtt_s:float ->
+  rtt_min_s:float ->
+  loss_frac:float ->
+  service_ratio:float ->
+  float
+(** State derivative given the flow's current RTT, its base (minimum)
+    RTT, the link's fluid loss probability, and the fraction of offered
+    load the link is currently delivering. *)

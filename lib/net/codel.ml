@@ -88,5 +88,6 @@ let create ~now ?(target = 0.005) ?(interval = 0.1) ?(limit_bytes = Fifo.default
     dequeue;
     backlog_bytes = (fun () -> !bytes);
     backlog_packets = (fun () -> Queue.length queue);
+    set_cross_backlog = Qdisc.ignore_cross_backlog;
     stats;
   }

@@ -146,5 +146,6 @@ let create ?(quantum_bytes = default_quantum) ?(limit_bytes = Fifo.default_limit
     dequeue;
     backlog_bytes = (fun () -> !total_bytes);
     backlog_packets = (fun () -> !total_packets);
+    set_cross_backlog = Qdisc.ignore_cross_backlog;
     stats;
   }

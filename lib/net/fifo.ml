@@ -7,6 +7,9 @@ let create ?(limit_bytes = default_limit_bytes) ?limit_packets () =
   | Some _ | None -> ());
   let queue : Packet.t Queue.t = Queue.create () in
   let bytes = ref 0 in
+  (* Shared-buffer occupancy held by a fluid aggregate (hybrid mode);
+     counts against the byte limit but never against the backlog. *)
+  let cross = ref 0 in
   let stats = Qdisc.make_stats () in
   (match (Ccsim_obs.Scope.ambient ()).Ccsim_obs.Scope.watchdog with
   | Some w ->
@@ -27,7 +30,7 @@ let create ?(limit_bytes = default_limit_bytes) ?limit_packets () =
     let over_packets =
       match limit_packets with Some p -> Queue.length queue >= p | None -> false
     in
-    if over_packets || !bytes + pkt.size_bytes > limit_bytes then begin
+    if over_packets || !bytes + !cross + pkt.size_bytes > limit_bytes then begin
       Qdisc.drop stats pkt;
       false
     end
@@ -52,5 +55,6 @@ let create ?(limit_bytes = default_limit_bytes) ?limit_packets () =
     dequeue;
     backlog_bytes = (fun () -> !bytes);
     backlog_packets = (fun () -> Queue.length queue);
+    set_cross_backlog = (fun b -> cross := Int.max 0 b);
     stats;
   }

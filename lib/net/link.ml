@@ -33,9 +33,16 @@ type wd = {
   mutable wd_delivered_bytes : int;
 }
 
+(* A fluid cross-traffic aggregate (hybrid mode) consumes part of the
+   wire: serialization proceeds at the residual rate, floored at 1% of
+   capacity so packet flows starve gracefully instead of stalling the
+   event loop. *)
+let min_residual_frac = 0.01
+
 type t = {
   sim : Ccsim_engine.Sim.t;
   mutable rate_bps : float;
+  mutable cross_bps : float;
   delay_s : float;
   qdisc : Qdisc.t;
   sink : Packet.t -> unit;
@@ -85,6 +92,7 @@ let create sim ~rate_bps ~delay_s ?qdisc ~sink () =
     {
       sim;
       rate_bps;
+      cross_bps = 0.0;
       delay_s;
       qdisc;
       sink;
@@ -161,9 +169,12 @@ let rec transmit_next t =
   | None -> t.busy <- false
   | Some pkt ->
       t.busy <- true;
+      let effective_bps =
+        Float.max (min_residual_frac *. t.rate_bps) (t.rate_bps -. t.cross_bps)
+      in
       let tx_time =
         Ccsim_util.Units.seconds_to_transmit ~size_bytes:pkt.Packet.size_bytes
-          ~rate_bps:t.rate_bps
+          ~rate_bps:effective_bps
       in
       t.busy_seconds <- t.busy_seconds +. tx_time;
       (match t.wd with
@@ -199,6 +210,11 @@ let set_rate t rate =
   (match t.obs.rate_changes with Some c -> Obs.Metrics.inc c | None -> ());
   match t.obs.rate_g with Some g -> Obs.Metrics.set g rate | None -> ()
 
+let set_cross_rate_bps t rate =
+  if rate < 0.0 then invalid_arg "Link.set_cross_rate_bps: negative rate";
+  t.cross_bps <- rate
+
+let cross_rate_bps t = t.cross_bps
 let delay_s t = t.delay_s
 let qdisc t = t.qdisc
 let busy_seconds t = t.busy_seconds

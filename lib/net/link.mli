@@ -38,6 +38,16 @@ val rate_bps : t -> float
 val set_rate : t -> float -> unit
 (** Must be positive. Takes effect at the next serialization. *)
 
+val set_cross_rate_bps : t -> float -> unit
+(** Fluid cross-traffic rate sharing the wire (hybrid mode): packets
+    serialize at [rate - cross], floored at 1% of [rate] so the packet
+    share degrades instead of stalling. Must be non-negative; takes
+    effect at the next serialization. Updated periodically by
+    [Ccsim_fluid.Fluid_driver]. *)
+
+val cross_rate_bps : t -> float
+(** Current fluid cross-traffic rate (0 outside hybrid mode). *)
+
 val delay_s : t -> float
 val qdisc : t -> Qdisc.t
 

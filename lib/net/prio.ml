@@ -37,5 +37,6 @@ let create ?(bands = 3) ?(limit_bytes_per_band = Fifo.default_limit_bytes) () =
     dequeue;
     backlog_bytes = (fun () -> Array.fold_left ( + ) 0 band_bytes);
     backlog_packets = (fun () -> Array.fold_left (fun acc q -> acc + Queue.length q) 0 queues);
+    set_cross_backlog = Qdisc.ignore_cross_backlog;
     stats;
   }

@@ -12,8 +12,11 @@ type t = {
   dequeue : unit -> Packet.t option;
   backlog_bytes : unit -> int;
   backlog_packets : unit -> int;
+  set_cross_backlog : int -> unit;
   stats : stats;
 }
+
+let ignore_cross_backlog (_ : int) = ()
 
 let make_stats () =
   { enqueued = 0; dropped = 0; dequeued = 0; bytes_dropped = 0; ecn_marked = 0 }

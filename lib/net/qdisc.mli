@@ -25,8 +25,21 @@ type t = {
   dequeue : unit -> Packet.t option;
   backlog_bytes : unit -> int;
   backlog_packets : unit -> int;
+  set_cross_backlog : int -> unit;
+      (** Bytes of the shared buffer held by a fluid cross-traffic
+          aggregate (hybrid mode). Admission-relevant disciplines (FIFO
+          byte limit, RED average) include it in their occupancy
+          signal; schedulers that only order packets
+          ({!Drr}/{!Prio}/{!Codel}) ignore it
+          ({!ignore_cross_backlog}). Never affects
+          [backlog_bytes]/[backlog_packets], which count real packets
+          only — conservation invariants stay exact. *)
   stats : stats;
 }
+
+val ignore_cross_backlog : int -> unit
+(** No-op [set_cross_backlog] for disciplines that don't model buffer
+    sharing. *)
 
 val make_stats : unit -> stats
 

@@ -7,6 +7,10 @@ let create ?(min_th_bytes = 30 * full_packet) ?(max_th_bytes = 90 * full_packet)
   if weight <= 0.0 || weight > 1.0 then invalid_arg "Red.create: weight must be in (0,1]";
   let queue : Packet.t Queue.t = Queue.create () in
   let bytes = ref 0 in
+  (* Shared-buffer occupancy held by a fluid aggregate (hybrid mode);
+     feeds the average-queue signal and the hard limit like real
+     occupancy would, but is never dequeued here. *)
+  let cross = ref 0 in
   let avg = ref 0.0 in
   let count_since_drop = ref (-1) in
   let stats = Qdisc.make_stats () in
@@ -31,8 +35,8 @@ let create ?(min_th_bytes = 30 * full_packet) ?(max_th_bytes = 90 * full_packet)
     end
   in
   let enqueue (pkt : Packet.t) =
-    avg := ((1.0 -. weight) *. !avg) +. (weight *. float_of_int !bytes);
-    if !bytes + pkt.size_bytes > limit_bytes then begin
+    avg := ((1.0 -. weight) *. !avg) +. (weight *. float_of_int (!bytes + !cross));
+    if !bytes + !cross + pkt.size_bytes > limit_bytes then begin
       Qdisc.drop stats pkt;
       false
     end
@@ -75,5 +79,6 @@ let create ?(min_th_bytes = 30 * full_packet) ?(max_th_bytes = 90 * full_packet)
     dequeue;
     backlog_bytes = (fun () -> !bytes);
     backlog_packets = (fun () -> Queue.length queue);
+    set_cross_backlog = (fun b -> cross := Int.max 0 b);
     stats;
   }

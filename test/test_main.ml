@@ -14,6 +14,7 @@ let () =
       ("features", Test_features.suite);
       ("parking lot", Test_parking_lot.suite);
       ("runner", Test_runner.suite);
+      ("fluid", Test_fluid.suite);
       ("obs", Test_obs.suite);
       ("timeline", Test_timeline.suite);
       ("lint", Test_lint.suite);

@@ -96,6 +96,92 @@ let test_metrics_ndjson () =
   Alcotest.(check bool) "histogram count" true
     (contains ~sub:"\"count\":1" second)
 
+(* The histogram NDJSON shape is load-bearing: fluid-vs-packet
+   agreement can be checked from exported metrics alone, so the line
+   must carry count/sum/zero and the p50/p95/p99 quantiles in a stable
+   shape. Guard the exact field sequence and the internal consistency
+   (count = zero + bucket counts, quantiles monotone). *)
+let test_histogram_ndjson_shape () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~labels:[ ("engine", "fluid") ] "rate_err" in
+  Metrics.observe h 0.0;
+  (* zero bucket *)
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 2.0; 4.0; 4.0; 8.0 ];
+  let line = String.trim (Metrics.to_ndjson m) in
+  (* Field sequence: histogram lines always carry these keys in this
+     order, so downstream jq/awk pipelines can rely on them. *)
+  let order =
+    [
+      "\"type\":\"histogram\"";
+      "\"name\":\"rate_err\"";
+      "\"labels\":";
+      "\"count\":";
+      "\"sum\":";
+      "\"zero\":";
+      "\"p50\":";
+      "\"p95\":";
+      "\"p99\":";
+      "\"buckets\":[";
+    ]
+  in
+  let idx_in s sub =
+    let n = String.length sub in
+    let rec go i =
+      if i + n > String.length s then Alcotest.failf "missing %s in %s" sub s
+      else if String.sub s i n = sub then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let idx sub = idx_in line sub in
+  ignore
+    (List.fold_left
+       (fun prev sub ->
+         let i = idx sub in
+         Alcotest.(check bool) (sub ^ " in order") true (i > prev);
+         i)
+       (-1) order);
+  (* Numeric consistency, parsed back out of the line. *)
+  let number_after key =
+    let i = idx (Printf.sprintf "\"%s\":" key) + String.length key + 3 in
+    let j = ref i in
+    while
+      !j < String.length line
+      && (match line.[!j] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+    do
+      incr j
+    done;
+    float_of_string (String.sub line i (!j - i))
+  in
+  Alcotest.(check (float 1e-9)) "count" 7.0 (number_after "count");
+  Alcotest.(check (float 1e-9)) "sum" 19.5 (number_after "sum");
+  Alcotest.(check (float 1e-9)) "zero" 1.0 (number_after "zero");
+  let p50 = number_after "p50" and p95 = number_after "p95" and p99 = number_after "p99" in
+  Alcotest.(check bool) "quantiles monotone" true (p50 <= p95 && p95 <= p99);
+  Alcotest.(check bool) "p50 within observed range" true (p50 >= 0.0 && p50 <= 8.0);
+  (* count = zero + sum of bucket counts: parse the buckets array. *)
+  let bstart = idx "\"buckets\":[" + String.length "\"buckets\":[" in
+  let bend = String.index_from line bstart ']' in
+  let buckets = String.sub line bstart (bend - bstart) in
+  let bucket_total =
+    String.split_on_char '{' buckets
+    |> List.filter (fun entry -> contains ~sub:"\"count\":" entry)
+    |> List.fold_left
+         (fun acc entry ->
+           let k = idx_in entry "\"count\":" + String.length "\"count\":" in
+           let j = ref k in
+           while
+             !j < String.length entry
+             && (match entry.[!j] with '0' .. '9' -> true | _ -> false)
+           do
+             incr j
+           done;
+           acc + int_of_string (String.sub entry k (!j - k)))
+         0
+  in
+  Alcotest.(check bool) "several buckets populated" true (bucket_total >= 1);
+  Alcotest.(check int) "count = zero + bucket counts" 7 (1 + bucket_total)
+
 (* --- flight recorder ------------------------------------------------------ *)
 
 let test_recorder_bounded () =
@@ -268,6 +354,8 @@ let suite =
     Alcotest.test_case "metrics: histogram buckets monotone" `Quick
       test_histogram_buckets_monotone;
     Alcotest.test_case "metrics: ndjson export" `Quick test_metrics_ndjson;
+    Alcotest.test_case "metrics: histogram ndjson shape stable" `Quick
+      test_histogram_ndjson_shape;
     Alcotest.test_case "recorder: bounded memory" `Quick test_recorder_bounded;
     Alcotest.test_case "recorder: severity threshold" `Quick test_recorder_severity_threshold;
     Alcotest.test_case "recorder: ndjson and csv" `Quick test_recorder_exports;

@@ -121,7 +121,15 @@ let test_sweep_points () =
       ignore (R.Sweep.axis "bad" []))
 
 let test_registry_complete () =
-  Alcotest.(check int) "eighteen experiments" 18 (List.length E.all);
+  Alcotest.(check int) "nineteen experiments" 19 (List.length E.all);
+  Alcotest.(check bool) "find p1" true (E.find "p1" <> None);
+  (match E.find "p1" with
+  | Some p1 ->
+      Alcotest.(check (list string)) "p1 backends" [ "fluid"; "hybrid" ] p1.E.backends;
+      let params = E.effective_params p1 ~seed:7 () in
+      Alcotest.(check (option string)) "backend default in params" (Some "fluid")
+        (List.assoc_opt "backend" params)
+  | None -> ());
   Alcotest.(check bool) "find fig1" true (E.find "fig1" <> None);
   Alcotest.(check bool) "find unknown" true (E.find "nope" = None);
   let params = E.effective_params (exp "fig2") ~seed:7 () in

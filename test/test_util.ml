@@ -460,9 +460,69 @@ let qcheck_tests =
           signal back);
   ]
 
+(* --- Ode ------------------------------------------------------------------ *)
+
+(* dy/dt = -y from y0 = 1 has the closed form e^{-t}: Euler must land
+   within its O(dt) global error, RK4 within O(dt^4). *)
+let decay ~t_s:_ ~y ~dy =
+  for i = 0 to Array.length y - 1 do
+    dy.(i) <- -.y.(i)
+  done
+
+let test_ode_euler_decay () =
+  let ws = U.Ode.workspace 2 in
+  let y = [| 1.0; 2.0 |] in
+  let dt_s = 0.001 in
+  let reached = U.Ode.integrate ws `Euler decay ~t0_s:0.0 ~t1_s:1.0 ~dt_s y in
+  Alcotest.(check bool) "reached horizon" true (reached >= 1.0);
+  check_close "euler e^-1" 1e-3 (Float.exp (-1.0)) y.(0);
+  check_close "euler scales linearly" 1e-3 (2.0 *. Float.exp (-1.0)) y.(1)
+
+let test_ode_rk4_decay () =
+  let ws = U.Ode.workspace 1 in
+  let y = [| 1.0 |] in
+  ignore (U.Ode.integrate ws `Rk4 decay ~t0_s:0.0 ~t1_s:1.0 ~dt_s:0.01 y);
+  check_close "rk4 e^-1" 1e-9 (Float.exp (-1.0)) y.(0)
+
+let test_ode_rk4_beats_euler () =
+  let run method_ =
+    let ws = U.Ode.workspace 1 in
+    let y = [| 1.0 |] in
+    ignore (U.Ode.integrate ws method_ decay ~t0_s:0.0 ~t1_s:2.0 ~dt_s:0.05 y);
+    Float.abs (y.(0) -. Float.exp (-2.0))
+  in
+  Alcotest.(check bool) "rk4 error well under euler's" true (run `Rk4 < 0.001 *. run `Euler)
+
+let test_ode_time_dependent () =
+  (* dy/dt = 2t integrates to t^2: exercises the t_s argument (RK4's
+     half-step evaluations hit t + dt/2). *)
+  let f ~t_s ~y:_ ~dy = dy.(0) <- 2.0 *. t_s in
+  let ws = U.Ode.workspace 1 in
+  let y = [| 0.0 |] in
+  ignore (U.Ode.integrate ws `Rk4 f ~t0_s:0.0 ~t1_s:3.0 ~dt_s:0.1 y);
+  check_close "t^2 at 3" 1e-9 9.0 y.(0)
+
+let test_ode_invalid_args () =
+  let ws = U.Ode.workspace 2 in
+  Alcotest.(check int) "dim" 2 (U.Ode.dim ws);
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Ode.euler_step: state dimension mismatch") (fun () ->
+      U.Ode.euler_step ws decay ~t_s:0.0 ~dt_s:0.1 [| 1.0 |]);
+  Alcotest.check_raises "non-positive dt"
+    (Invalid_argument "Ode.rk4_step: dt must be positive") (fun () ->
+      U.Ode.rk4_step ws decay ~t_s:0.0 ~dt_s:0.0 [| 1.0; 2.0 |]);
+  Alcotest.check_raises "zero dimension"
+    (Invalid_argument "Ode.workspace: dimension must be positive") (fun () ->
+      ignore (U.Ode.workspace 0))
+
 let suite =
   [
     ("units: conversions", `Quick, test_units_conversions);
+    ("ode: euler matches exponential decay", `Quick, test_ode_euler_decay);
+    ("ode: rk4 matches exponential decay", `Quick, test_ode_rk4_decay);
+    ("ode: rk4 error well under euler", `Quick, test_ode_rk4_beats_euler);
+    ("ode: time-dependent derivative", `Quick, test_ode_time_dependent);
+    ("ode: invalid arguments rejected", `Quick, test_ode_invalid_args);
     ("units: serialization time", `Quick, test_units_transmit_time);
     ("units: bdp", `Quick, test_units_bdp);
     ("rng: determinism", `Quick, test_rng_determinism);
