@@ -17,6 +17,7 @@ open Cmdliner
 module R = Ccsim_runner
 module E = Ccsim_core.Experiments
 module Obs = Ccsim_obs
+module Faults = Ccsim_faults
 
 let seed_arg =
   let doc = "Deterministic seed for the experiment." in
@@ -39,7 +40,9 @@ let backend_arg =
   Arg.(value & opt (some string) None & info [ "backend" ] ~docv:"BACKEND" ~doc)
 
 (* Reject a backend the experiment does not support before any job is
-   built; same exit code as the other CLI usage errors. *)
+   built. Exit 124, not the usage-error 2: an unsupported backend is a
+   capability gap, reported like a timeout so sweeps can tell the two
+   apart (see the exit-code table in the README). *)
 let validate_backend (e : E.t) = function
   | None -> None
   | Some b ->
@@ -53,6 +56,41 @@ let validate_backend (e : E.t) = function
 let jobs_arg =
   let doc = "Worker domains; 1 runs serially (bit-identical to the pre-runner CLI)." in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* --- fault injection ------------------------------------------------------- *)
+
+let plan_conv =
+  let parse s =
+    match Faults.Plan.parse s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg ("invalid fault plan: " ^ msg))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Faults.Plan.to_string p))
+
+let faults_arg =
+  let doc =
+    "Arm a deterministic fault-injection plan against every scenario's bottleneck: \
+     semicolon-separated clauses such as $(b,outage at=20 dur=2), $(b,burst-loss at=30 \
+     dur=20 p-enter=0.01 p-exit=0.25 loss-bad=0.3), $(b,capacity at=10 factor=0.5 dur=5), \
+     $(b,ramp), $(b,loss), $(b,corrupt), $(b,duplicate), $(b,reorder), $(b,delay-spike), \
+     $(b,qdisc-reset at=40), $(b,flap from=10 until=50 mean-up=5 mean-down=0.5). Fault \
+     events are journaled by the flight recorder (class $(b,fault)) and mirrored as \
+     $(b,fault_span) timeline series. A malformed plan is a usage error."
+  in
+  Arg.(value & opt (some plan_conv) None & info [ "faults" ] ~docv:"PLAN" ~doc)
+
+let fault_seed_arg =
+  let doc =
+    "Seed for the fault plan's SplitMix64 streams (flap holding times, per-packet \
+     loss/corruption draws). Independent of --seed: the same workload can be replayed \
+     under different chaos. Same (plan, fault-seed) reproduces byte-identically."
+  in
+  Arg.(value & opt int 42 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let faults_term =
+  Term.(
+    const (fun plan fault_seed -> Option.map (fun p -> (p, fault_seed)) plan)
+    $ faults_arg $ fault_seed_arg)
 
 let no_cache_arg =
   let doc = "Always recompute; do not read or write the result cache." in
@@ -118,6 +156,22 @@ let check_arg =
   in
   Arg.(value & flag & info [ "check" ] ~doc)
 
+let check_policy_arg =
+  let doc =
+    "Watchdog violation policy (implies --check): $(b,abort) fails the run on the first \
+     violation (the --check default), $(b,quarantine) completes the run but marks the job \
+     degraded, $(b,warn) only reports violations on stderr."
+  in
+  let policy_conv =
+    let parse s =
+      match Obs.Watchdog.policy_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "expected warn, quarantine or abort, got %S" s))
+    in
+    Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Obs.Watchdog.policy_to_string p))
+  in
+  Arg.(value & opt (some policy_conv) None & info [ "check-policy" ] ~docv:"POLICY" ~doc)
+
 let flight_cap_arg =
   let doc =
     "Flight recorder capacity: keep the most recent $(docv) events per job. Must be \
@@ -147,12 +201,13 @@ type obs_cfg = {
   series_interval : float;
   chrome_path : string option;
   check : bool;
+  check_policy : Obs.Watchdog.policy option;
   flight_cap : int;
 }
 
 let obs_cfg_term =
   let make metrics_path flight_path profile series_path series_interval chrome_path check
-      flight_cap =
+      check_policy flight_cap =
     {
       metrics_path;
       flight_path;
@@ -160,13 +215,14 @@ let obs_cfg_term =
       series_path;
       series_interval;
       chrome_path;
-      check;
+      check = check || check_policy <> None;
+      check_policy;
       flight_cap;
     }
   in
   Term.(
     const make $ metrics_arg $ flight_arg $ profile_arg $ series_arg $ series_interval_arg
-    $ chrome_arg $ check_arg $ flight_cap_arg)
+    $ chrome_arg $ check_arg $ check_policy_arg $ flight_cap_arg)
 
 let obs_enabled c =
   c.metrics_path <> None || c.flight_path <> None || c.profile || c.series_path <> None
@@ -199,7 +255,9 @@ let wrap_thunk cfg ~name thunk =
         Some (Obs.Timeline.create ~interval:cfg.series_interval ())
       else None
     in
-    let watchdog = if cfg.check then Some (Obs.Watchdog.create ()) else None in
+    let watchdog =
+      if cfg.check then Some (Obs.Watchdog.create ?policy:cfg.check_policy ()) else None
+    in
     (match (watchdog, timeline) with
     | Some w, Some tl -> Obs.Watchdog.watch_timeline w tl
     | _ -> ());
@@ -275,13 +333,15 @@ let export_obs cfg handles =
       write_file path (Obs.Chrome_trace.to_string jobs)
   | None -> ());
   (if cfg.check then
+     (* Under warn/quarantine the run survives past the first violation,
+        so report every one the watchdog collected, not just the first. *)
      List.iter
        (fun h ->
          match h.j_watchdog with
-         | Some w -> (
-             match Obs.Watchdog.violation w with
-             | Some v -> Printf.eprintf "%s%!" (Obs.Watchdog.report v)
-             | None -> ())
+         | Some w ->
+             List.iter
+               (fun v -> Printf.eprintf "%s%!" (Obs.Watchdog.report v))
+               (Obs.Watchdog.violations w)
          | None -> ())
        handles);
   (if cfg.profile then
@@ -295,26 +355,60 @@ let export_obs cfg handles =
     (fun h -> Option.map (fun p -> (h.job_name, Obs.Profile.to_json p)) h.j_profile)
     handles
 
-let job_of ?backend ?duration ?n ~seed ~obs (e : E.t) =
-  let params = E.effective_params e ?backend ?duration ?n ~seed () in
-  let thunk, handle =
-    wrap_thunk obs ~name:e.id (fun () -> e.render ?backend ?duration ?n ~seed ())
-  in
+(* An armed fault plan changes what the renderer computes, so it joins
+   the digest params (fault-free digests are unchanged — old cache
+   entries stay valid) and wraps the thunk in the ambient arming that
+   Scenario.run consults. *)
+let fault_params = function
+  | None -> []
+  | Some (plan, fault_seed) ->
+      [ ("faults", Faults.Plan.to_string plan); ("fault-seed", string_of_int fault_seed) ]
+
+let arm_faults faults render =
+  match faults with
+  | None -> render
+  | Some (plan, fault_seed) ->
+      fun () ->
+        Faults.Plan.with_armed (Some { Faults.Plan.plan; seed = fault_seed }) render
+
+let job_of ?backend ?duration ?n ?faults ~seed ~obs (e : E.t) =
+  let params = E.effective_params e ?backend ?duration ?n ~seed () @ fault_params faults in
+  let render = arm_faults faults (fun () -> e.render ?backend ?duration ?n ~seed ()) in
+  let thunk, handle = wrap_thunk obs ~name:e.id render in
   let job =
     R.Job.make ~name:e.id ~digest:(R.Job.digest_of_params ~name:e.id params) thunk
   in
   (job, handle)
 
+(* A job whose watchdog tripped under the quarantine policy completed,
+   but its numbers ran through a violated invariant: mark the result
+   degraded so the telemetry table, JSON report and exit code say so. *)
+let mark_quarantined ~handles results =
+  let quarantined name =
+    List.exists
+      (fun h ->
+        h.job_name = name
+        && match h.j_watchdog with Some w -> Obs.Watchdog.degraded w | None -> false)
+      handles
+  in
+  Array.map
+    (fun (r : R.Job.result) ->
+      if r.ok && quarantined r.name then
+        { r with degraded = true; error = Some "watchdog quarantine: invariant violated" }
+      else r)
+    results
+
 (* Run jobs, print their blocks to stdout in submission order (blank
    line between blocks, as `all` always did), telemetry to stderr so
    stdout rows stay byte-identical across -j levels and cache states.
-   Returns the exit code: non-zero if any job failed. *)
+   Returns the unified exit code (Telemetry.exit_code). *)
 let run_and_report ~jobs ~no_cache ~report ~telemetry_to ~obs ~handles jobs_list =
   let no_cache = no_cache || obs_enabled obs in
   let cache = if no_cache then None else Some (R.Cache.create ()) in
   let config = R.Pool.config ~jobs ?cache () in
   let t0 = R.Telemetry.now_s () in
   let results = R.Pool.run config jobs_list in
+  let results = mark_quarantined ~handles results in
   let total_wall_s = R.Telemetry.now_s () -. t0 in
   Array.iteri
     (fun i (r : R.Job.result) ->
@@ -336,15 +430,15 @@ let run_and_report ~jobs ~no_cache ~report ~telemetry_to ~obs ~handles jobs_list
     | None -> None
   in
   Option.iter (fun path -> R.Telemetry.write_json ~profiles tele ~path) report_path;
-  if R.Telemetry.failures tele > 0 then 1 else 0
+  R.Telemetry.exit_code tele
 
 let exp_cmd (e : E.t) =
   let info = Cmd.info e.id ~doc:e.title in
   match e.kind with
   | E.Timed default ->
-      let run duration seed backend jobs report obs =
+      let run duration seed backend jobs report obs faults =
         let backend = validate_backend e backend in
-        let job, handle = job_of ?backend ~duration ~seed ~obs e in
+        let job, handle = job_of ?backend ~duration ?faults ~seed ~obs e in
         exit
           (run_and_report ~jobs ~no_cache:true ~report ~telemetry_to:None ~obs
              ~handles:(Option.to_list handle) [ job ])
@@ -352,11 +446,11 @@ let exp_cmd (e : E.t) =
       Cmd.v info
         Term.(
           const run $ duration_arg default $ seed_arg $ backend_arg $ jobs_arg $ report_arg
-          $ obs_cfg_term)
+          $ obs_cfg_term $ faults_term)
   | E.Sized default ->
-      let run n seed backend jobs report obs =
+      let run n seed backend jobs report obs faults =
         let backend = validate_backend e backend in
-        let job, handle = job_of ?backend ~n ~seed ~obs e in
+        let job, handle = job_of ?backend ~n ?faults ~seed ~obs e in
         exit
           (run_and_report ~jobs ~no_cache:true ~report ~telemetry_to:None ~obs
              ~handles:(Option.to_list handle) [ job ])
@@ -364,11 +458,13 @@ let exp_cmd (e : E.t) =
       Cmd.v info
         Term.(
           const run $ flows_arg default $ seed_arg $ backend_arg $ jobs_arg $ report_arg
-          $ obs_cfg_term)
+          $ obs_cfg_term $ faults_term)
 
 let all_cmd =
-  let run seed jobs no_cache report obs =
-    let pairs = List.map (job_of ~seed ~obs) E.all in
+  (* Fault params join the job digests, so caching stays correct with
+     --faults: same (plan, seed) hits, anything else misses. *)
+  let run seed jobs no_cache report obs faults =
+    let pairs = List.map (job_of ?faults ~seed ~obs) E.all in
     let jobs_list = List.map fst pairs in
     let handles = List.filter_map snd pairs in
     exit
@@ -380,7 +476,7 @@ let all_cmd =
        ~doc:
          "Run every figure and experiment in DESIGN.md order on a domain pool (-j), with \
           result caching and run telemetry")
-    Term.(const run $ seed_arg $ jobs_arg $ no_cache_arg $ report_arg $ obs_cfg_term)
+    Term.(const run $ seed_arg $ jobs_arg $ no_cache_arg $ report_arg $ obs_cfg_term $ faults_term)
 
 let list_cmd =
   let run () =
@@ -434,7 +530,7 @@ let sweep_cmd =
     in
     Arg.(value & opt (list string) [] & info [ "backends" ] ~docv:"BACKENDS" ~doc)
   in
-  let run ids seeds durations populations backends jobs no_cache report obs =
+  let run ids seeds durations populations backends jobs no_cache report obs faults =
     let no_cache = no_cache || obs_enabled obs in
     let ids = if ids = [] then List.map (fun (e : E.t) -> e.id) E.all else ids in
     let experiments =
@@ -444,7 +540,7 @@ let sweep_cmd =
           | Some e -> e
           | None ->
               Printf.eprintf "ccsim sweep: unknown experiment %S\n" id;
-              exit 124)
+              exit 2)
         ids
     in
     let axes =
@@ -478,7 +574,9 @@ let sweep_cmd =
           in
           if skip_unsupported then None
           else begin
-            let params = E.effective_params e ?backend ?duration ?n ~seed () in
+            let params =
+              E.effective_params e ?backend ?duration ?n ~seed () @ fault_params faults
+            in
             let digest = R.Job.digest_of_params ~name:e.id params in
             if Hashtbl.mem seen digest then None
             else begin
@@ -488,9 +586,10 @@ let sweep_cmd =
               let name =
                 String.concat " " (e.id :: List.map (fun (k, v) -> k ^ "=" ^ v) params)
               in
-              let thunk, handle =
-                wrap_thunk obs ~name (fun () -> e.render ?backend ?duration ?n ~seed ())
+              let render =
+                arm_faults faults (fun () -> e.render ?backend ?duration ?n ~seed ())
               in
+              let thunk, handle = wrap_thunk obs ~name render in
               Some (R.Job.make ~name ~digest thunk, handle)
             end
           end)
@@ -503,6 +602,7 @@ let sweep_cmd =
     let config = R.Pool.config ~jobs ?cache () in
     let t0 = R.Telemetry.now_s () in
     let results = R.Pool.run config jobs_list in
+    let results = mark_quarantined ~handles results in
     let total_wall_s = R.Telemetry.now_s () -. t0 in
     Array.iter
       (fun (r : R.Job.result) ->
@@ -522,14 +622,14 @@ let sweep_cmd =
       | None -> None
     in
     Option.iter (fun path -> R.Telemetry.write_json ~profiles tele ~path) report_path;
-    exit (if R.Telemetry.failures tele > 0 then 1 else 0)
+    exit (R.Telemetry.exit_code tele)
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Cross-product sweep over experiments x seeds x durations on a domain pool")
     Term.(
       const run $ ids_arg $ seeds_arg $ durations_arg $ populations_arg $ backends_arg
-      $ jobs_arg $ no_cache_arg $ report_arg $ obs_cfg_term)
+      $ jobs_arg $ no_cache_arg $ report_arg $ obs_cfg_term $ faults_term)
 
 let analyze_cmd =
   let file_arg =
@@ -559,10 +659,10 @@ let analyze_cmd =
     match Ccsim_measure.Offline.load file with
     | exception Sys_error msg ->
         Printf.eprintf "ccsim analyze: %s\n" msg;
-        exit 124
+        exit 2
     | exception Ccsim_measure.Offline.Parse_error msg ->
         Printf.eprintf "ccsim analyze: %s: %s\n" file msg;
-        exit 124
+        exit 2
     | series ->
         print_string
           (Ccsim_measure.Offline.render ~warmup ?hi:until ~threshold ~shift_threshold
@@ -583,4 +683,14 @@ let main =
     (Cmd.info "ccsim" ~version:"1.0.0" ~doc)
     (List.map exp_cmd E.all @ [ all_cmd; sweep_cmd; analyze_cmd; list_cmd ])
 
-let () = exit (Cmd.eval main)
+(* Unified exit codes (README): 0 ok, 1 verdict/job failure, 2 usage
+   error, 124 timeout or unsupported backend. Cmdliner's defaults remap
+   inconsistently (unknown options honour ~term_err while conv
+   failures hard-code 124), so map the eval outcome ourselves: every
+   command-line problem — unknown command, bad flag, malformed value —
+   is a usage error. *)
+let () =
+  match Cmd.eval_value main with
+  | Ok (`Ok ()) | Ok `Version | Ok `Help -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 125

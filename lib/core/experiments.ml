@@ -71,6 +71,8 @@ let all =
       (fun ?duration ?n:_ ~seed () -> A3_quantum_ablation.(render (run ?duration ~seed ())));
     timed "a4" "Ablation: buffer depth vs BBR/Reno share" 60.0
       (fun ?duration ?n:_ ~seed () -> A4_buffer_ablation.(render (run ?duration ~seed ())));
+    timed "c1" "Chaos: elasticity-verdict stability under canonical fault plans" 45.0
+      (fun ?duration ?n:_ ~seed () -> C1_chaos.(render (run ?duration ~seed ())));
     sized_multi "p1" "Contention prevalence across a fluid/hybrid user population" 2000
       [ "fluid"; "hybrid" ]
       (fun ?backend ?duration:_ ?n ~seed () ->

@@ -28,6 +28,7 @@ type t = {
   mean_queue_bytes : float;
   max_queue_bytes : float;
   short_flow_stats : short_flow_stats option;
+  faults : Ccsim_faults.Injector.summary option;
 }
 
 and short_flow_stats = {
@@ -51,5 +52,11 @@ let pp_summary ppf t =
       Format.fprintf ppf "  %-16s %8.2f Mbit/s  retx=%-5d srtt=%.1fms@," f.label
         (f.goodput_bps /. 1e6) f.retransmits (1e3 *. f.mean_srtt_s))
     t.flows;
-  Format.fprintf ppf "  jain=%.3f util=%.2f drops=%d q_mean=%.0fB@]" t.jain_index t.utilization
-    t.bottleneck_drops t.mean_queue_bytes
+  Format.fprintf ppf "  jain=%.3f util=%.2f drops=%d q_mean=%.0fB" t.jain_index t.utilization
+    t.bottleneck_drops t.mean_queue_bytes;
+  (match t.faults with
+  | None -> ()
+  | Some f ->
+      Format.fprintf ppf "@,  faults fired=%d cleared=%d wire_lost=%d corrupted=%d flushed=%d"
+        f.fired f.cleared f.wire_lost f.wire_corrupted f.qdisc_flushed);
+  Format.fprintf ppf "@]"

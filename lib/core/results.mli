@@ -34,6 +34,10 @@ type t = {
   mean_queue_bytes : float;
   max_queue_bytes : float;
   short_flow_stats : short_flow_stats option;
+  faults : Ccsim_faults.Injector.summary option;
+      (** Injector lifecycle/wire counters when a fault plan was armed
+          (ambient {!Ccsim_faults.Plan.armed} or experiment-supplied);
+          [None] on a fault-free run. *)
 }
 
 and short_flow_stats = {

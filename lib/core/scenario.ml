@@ -174,6 +174,16 @@ let run t =
       ignore
         (Net.Rate_process.ornstein_uhlenbeck sim ~link:topo.bottleneck ~rng:(U.Rng.split rng)
            ~mean_bps:t.rate_bps ~volatility ()));
+  (* An ambient armed fault plan (the CLI's --faults flag, or an
+     experiment like c1) attaches an injector to the bottleneck. The
+     injector seed is the plan's own, independent of the scenario seed,
+     so the workload's draws are untouched by arming faults. *)
+  let injector =
+    match Ccsim_faults.Plan.armed () with
+    | None -> None
+    | Some { Ccsim_faults.Plan.plan; seed } ->
+        Some (Ccsim_faults.Injector.attach sim ~link:topo.bottleneck ~plan ~seed ())
+  in
   (* --- per-flow setup --- *)
   let setup_flow idx (spec : flow_spec) =
     let flow_id = idx in
@@ -414,4 +424,5 @@ let run t =
     mean_queue_bytes = Measure.Telemetry.Queue_monitor.mean_backlog_bytes queue_monitor;
     max_queue_bytes = Measure.Telemetry.Queue_monitor.max_backlog_bytes queue_monitor;
     short_flow_stats;
+    faults = Option.map Ccsim_faults.Injector.summary injector;
   }

@@ -17,7 +17,16 @@ type t = {
          [("sim", "2"); ("scenario", "fig3/bbr bulk")] *)
   mutable probes : (Obs.Timeline.series * (unit -> float)) list;  (* newest first *)
   mutable driver_pending : int;  (* scheduled observability driver ticks *)
+  deadline : Obs.Deadline.t option;
+  mutable deadline_hit : bool;
+  mutable deadline_events : int;  (* events since the last deadline poll *)
 }
+
+(* Polling the ambient deadline costs a wall-clock read, so it happens
+   once per this many events; a hit stops the run at the next event
+   boundary. The poll never feeds any simulated quantity, so a run that
+   finishes in time is byte-identical to an undeadlined run. *)
+let deadline_poll_every = 512
 
 (* Periodic observability drivers must never keep the run alive on their
    own: a tick reschedules itself only while a non-driver event remains
@@ -72,6 +81,9 @@ let create ?profile ?timeline ?watchdog () =
       tl_tags;
       probes = [];
       driver_pending = 0;
+      deadline = Obs.Deadline.ambient ();
+      deadline_hit = false;
+      deadline_events = 0;
     }
   in
   (match timeline with
@@ -135,6 +147,19 @@ let step t =
             ~seconds:(Ccsim_obs.Profile.wall_now () -. t0));
       true
 
+let poll_deadline t =
+  match t.deadline with
+  | None -> ()
+  | Some d ->
+      t.deadline_events <- t.deadline_events + 1;
+      if t.deadline_events >= deadline_poll_every then begin
+        t.deadline_events <- 0;
+        if Obs.Deadline.exceeded d then begin
+          t.deadline_hit <- true;
+          t.stopped <- true
+        end
+      end
+
 let run ?until t =
   t.stopped <- false;
   let horizon = match until with None -> infinity | Some u -> u in
@@ -143,7 +168,9 @@ let run ?until t =
     match Event_heap.peek_time t.heap with
     | None -> continue := false
     | Some time when time > horizon -> continue := false
-    | Some _ -> ignore (step t)
+    | Some _ ->
+        ignore (step t);
+        poll_deadline t
   done;
   (match until with
   | Some u when t.clock < u && not t.stopped -> t.clock <- u
@@ -159,6 +186,7 @@ let run ?until t =
 
 let pending t = Event_heap.size t.heap
 let stop t = t.stopped <- true
+let deadline_hit t = t.deadline_hit
 
 let every t ~interval ?start ?(stop_after = infinity) f =
   if interval <= 0.0 then invalid_arg "Sim.every: interval must be positive";

@@ -92,6 +92,15 @@ val stop : t -> unit
 (** Make the current {!run} return after the in-progress event completes;
     pending events remain queued. *)
 
+val deadline_hit : t -> bool
+(** Whether a {!run} was cut short by the ambient
+    {!Ccsim_obs.Deadline} (armed by the runner pool around the job).
+    The deadline is polled at event boundaries every few hundred
+    events; when it fires, the run stops cleanly between events with
+    the clock at the last executed event, so partial metrics and
+    timeline series remain collectable. A run that finishes before its
+    deadline is byte-identical to an undeadlined run. *)
+
 val periodic_driver : t -> interval:float -> comp:string -> (unit -> unit) -> unit
 (** Install a periodic driver tick, like the built-in timeline and
     watchdog drivers: [f] runs every [interval] seconds charged to

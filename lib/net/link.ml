@@ -25,13 +25,67 @@ let no_obs =
 (* Watchdog conservation state: transmission starts and completions are
    counted at their two distinct event sites (dequeue vs delivery), so
    corrupting either side — or the public [bytes_delivered] aggregate —
-   breaks an invariant instead of going unnoticed. *)
+   breaks an invariant instead of going unnoticed. Wire-level faults
+   (non-congestive loss, corruption) are counted at their own site so
+   the wire invariant stays exact under fault injection:
+   started = delivered + lost + (at most one in flight). *)
 type wd = {
   mutable tx_started_pkts : int;
   mutable tx_started_bytes : int;
   mutable wd_delivered_pkts : int;
   mutable wd_delivered_bytes : int;
+  mutable wd_lost_pkts : int;
+  mutable wd_lost_bytes : int;
 }
+
+type loss_model =
+  | Uniform of { p : float }
+  | Gilbert_elliott of {
+      p_enter : float;  (* good -> bad transition probability per packet *)
+      p_exit : float;  (* bad -> good transition probability per packet *)
+      loss_good : float;
+      loss_bad : float;
+    }
+
+(* Wire impairments (Ccsim_faults): allocated lazily by the first
+   setter so the fault-free delivery path stays a [match] on [None]
+   and is byte-identical to the pre-fault binary. All stochastic
+   draws come from the injector-installed SplitMix64 stream, never a
+   global PRNG (ccsim-lint R2). *)
+type impairment = {
+  mutable fault_rng : Ccsim_util.Rng.t option;
+  mutable loss : loss_model option;
+  mutable ge_bad : bool;  (* Gilbert–Elliott chain state *)
+  mutable corrupt_p : float;
+  mutable duplicate_p : float;
+  mutable reorder : (float * float) option;  (* probability, extra delay (s) *)
+  mutable spike_delay_s : float;  (* added to propagation while a delay spike is live *)
+  mutable down : bool;  (* outage: serialization paused, queue builds *)
+  mutable wire_lost_pkts : int;
+  mutable wire_corrupted_pkts : int;
+  mutable wire_duplicated_pkts : int;
+  mutable wire_reordered_pkts : int;
+}
+
+let fresh_impairment () =
+  {
+    fault_rng = None;
+    loss = None;
+    ge_bad = false;
+    corrupt_p = 0.0;
+    duplicate_p = 0.0;
+    reorder = None;
+    spike_delay_s = 0.0;
+    down = false;
+    wire_lost_pkts = 0;
+    wire_corrupted_pkts = 0;
+    wire_duplicated_pkts = 0;
+    wire_reordered_pkts = 0;
+  }
+
+let check_probability ~what p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Link.%s: probability %g outside [0, 1]" what p)
 
 (* A fluid cross-traffic aggregate (hybrid mode) consumes part of the
    wire: serialization proceeds at the residual rate, floored at 1% of
@@ -51,6 +105,7 @@ type t = {
   mutable bytes_delivered : int;
   obs : obs;
   wd : wd option;
+  mutable imp : impairment option;
 }
 
 let create sim ~rate_bps ~delay_s ?qdisc ~sink () =
@@ -85,7 +140,14 @@ let create sim ~rate_bps ~delay_s ?qdisc ~sink () =
   let wd =
     Option.map
       (fun _ ->
-        { tx_started_pkts = 0; tx_started_bytes = 0; wd_delivered_pkts = 0; wd_delivered_bytes = 0 })
+        {
+          tx_started_pkts = 0;
+          tx_started_bytes = 0;
+          wd_delivered_pkts = 0;
+          wd_delivered_bytes = 0;
+          wd_lost_pkts = 0;
+          wd_lost_bytes = 0;
+        })
       scope.Obs.Scope.watchdog
   in
   let t =
@@ -101,6 +163,7 @@ let create sim ~rate_bps ~delay_s ?qdisc ~sink () =
       bytes_delivered = 0;
       obs;
       wd;
+      imp = None;
     }
   in
   (match (scope.Obs.Scope.watchdog, wd) with
@@ -126,21 +189,22 @@ let create sim ~rate_bps ~delay_s ?qdisc ~sink () =
          transmissions started and deliveries completed differ by at
          most the packet on the wire. *)
       Obs.Watchdog.register w ~component:"link" ~invariant:"packet_conservation" (fun () ->
-          let in_flight = wd.tx_started_pkts - wd.wd_delivered_pkts in
+          let in_flight = wd.tx_started_pkts - wd.wd_delivered_pkts - wd.wd_lost_pkts in
           if in_flight < 0 || in_flight > 1 then
             Some
-              (Printf.sprintf "tx_started=%d, delivered=%d: %d packet(s) on a one-packet wire"
-                 wd.tx_started_pkts wd.wd_delivered_pkts in_flight)
+              (Printf.sprintf
+                 "tx_started=%d, delivered=%d, wire_lost=%d: %d packet(s) on a one-packet wire"
+                 wd.tx_started_pkts wd.wd_delivered_pkts wd.wd_lost_pkts in_flight)
           else None);
       Obs.Watchdog.register w ~component:"link" ~invariant:"byte_conservation" (fun () ->
           if wd.wd_delivered_bytes <> t.bytes_delivered then
             Some
               (Printf.sprintf "delivered byte counters disagree: %d tracked vs %d reported"
                  wd.wd_delivered_bytes t.bytes_delivered)
-          else if wd.tx_started_bytes < wd.wd_delivered_bytes then
+          else if wd.tx_started_bytes < wd.wd_delivered_bytes + wd.wd_lost_bytes then
             Some
-              (Printf.sprintf "delivered %d bytes but only %d entered the wire"
-                 wd.wd_delivered_bytes wd.tx_started_bytes)
+              (Printf.sprintf "delivered %d + wire-lost %d bytes but only %d entered the wire"
+                 wd.wd_delivered_bytes wd.wd_lost_bytes wd.tx_started_bytes)
           else None)
   | _ -> ());
   t
@@ -164,42 +228,232 @@ let note_delivery t (pkt : Packet.t) =
         "delivered"
   | None -> ()
 
+let note_fault t ~what (pkt : Packet.t) =
+  match t.obs.recorder with
+  | Some r ->
+      Obs.Recorder.record r
+        ~at:(Ccsim_engine.Sim.now t.sim)
+        ~severity:Obs.Recorder.Debug ~kind:"fault" ~point:"link"
+        ~fields:
+          [
+            ("flow", string_of_int pkt.flow);
+            ("seq", string_of_int pkt.seq);
+            ("bytes", string_of_int pkt.size_bytes);
+          ]
+        what
+  | None -> ()
+
+(* Per-packet wire-loss draw: advances the Gilbert–Elliott chain (if
+   configured) and returns whether this packet is lost on the wire.
+   Only called with an impairment whose rng is installed. *)
+let wire_lost imp rng =
+  match imp.loss with
+  | None -> false
+  | Some (Uniform { p }) -> p > 0.0 && Ccsim_util.Rng.bernoulli rng ~p
+  | Some (Gilbert_elliott { p_enter; p_exit; loss_good; loss_bad }) ->
+      (if imp.ge_bad then begin
+         if p_exit > 0.0 && Ccsim_util.Rng.bernoulli rng ~p:p_exit then imp.ge_bad <- false
+       end
+       else if p_enter > 0.0 && Ccsim_util.Rng.bernoulli rng ~p:p_enter then
+         imp.ge_bad <- true);
+      let p = if imp.ge_bad then loss_bad else loss_good in
+      p > 0.0 && Ccsim_util.Rng.bernoulli rng ~p
+
 let rec transmit_next t =
-  match t.qdisc.Qdisc.dequeue () with
-  | None -> t.busy <- false
-  | Some pkt ->
-      t.busy <- true;
-      let effective_bps =
-        Float.max (min_residual_frac *. t.rate_bps) (t.rate_bps -. t.cross_bps)
-      in
-      let tx_time =
-        Ccsim_util.Units.seconds_to_transmit ~size_bytes:pkt.Packet.size_bytes
-          ~rate_bps:effective_bps
-      in
-      t.busy_seconds <- t.busy_seconds +. tx_time;
-      (match t.wd with
-      | Some wd ->
-          wd.tx_started_pkts <- wd.tx_started_pkts + 1;
-          wd.tx_started_bytes <- wd.tx_started_bytes + pkt.Packet.size_bytes
-      | None -> ());
-      ignore
-        (Ccsim_engine.Sim.schedule t.sim ~delay:tx_time (fun () ->
-             Ccsim_engine.Sim.set_component t.sim "link";
-             t.bytes_delivered <- t.bytes_delivered + pkt.size_bytes;
-             (match t.wd with
-             | Some wd ->
-                 wd.wd_delivered_pkts <- wd.wd_delivered_pkts + 1;
-                 wd.wd_delivered_bytes <- wd.wd_delivered_bytes + pkt.size_bytes
-             | None -> ());
-             note_delivery t pkt;
-             ignore
-               (Ccsim_engine.Sim.schedule t.sim ~delay:t.delay_s (fun () ->
-                    Ccsim_engine.Sim.set_component t.sim "link";
-                    t.sink pkt));
-             transmit_next t))
+  let down = match t.imp with Some imp -> imp.down | None -> false in
+  if down then t.busy <- false
+  else
+    match t.qdisc.Qdisc.dequeue () with
+    | None -> t.busy <- false
+    | Some pkt ->
+        t.busy <- true;
+        let effective_bps =
+          Float.max (min_residual_frac *. t.rate_bps) (t.rate_bps -. t.cross_bps)
+        in
+        let tx_time =
+          Ccsim_util.Units.seconds_to_transmit ~size_bytes:pkt.Packet.size_bytes
+            ~rate_bps:effective_bps
+        in
+        t.busy_seconds <- t.busy_seconds +. tx_time;
+        (match t.wd with
+        | Some wd ->
+            wd.tx_started_pkts <- wd.tx_started_pkts + 1;
+            wd.tx_started_bytes <- wd.tx_started_bytes + pkt.Packet.size_bytes
+        | None -> ());
+        ignore
+          (Ccsim_engine.Sim.schedule t.sim ~delay:tx_time (fun () ->
+               Ccsim_engine.Sim.set_component t.sim "link";
+               (match t.imp with
+               | None -> deliver t pkt ~extra_delay:0.0 ~duplicate:false
+               | Some imp -> deliver_impaired t imp pkt);
+               transmit_next t))
+
+(* The fault-free delivery site, also the tail of the impaired path. *)
+and deliver t (pkt : Packet.t) ~extra_delay ~duplicate =
+  t.bytes_delivered <- t.bytes_delivered + pkt.size_bytes;
+  (match t.wd with
+  | Some wd ->
+      wd.wd_delivered_pkts <- wd.wd_delivered_pkts + 1;
+      wd.wd_delivered_bytes <- wd.wd_delivered_bytes + pkt.size_bytes
+  | None -> ());
+  note_delivery t pkt;
+  let propagation = t.delay_s +. extra_delay in
+  ignore
+    (Ccsim_engine.Sim.schedule t.sim ~delay:propagation (fun () ->
+         Ccsim_engine.Sim.set_component t.sim "link";
+         t.sink pkt));
+  if duplicate then
+    ignore
+      (Ccsim_engine.Sim.schedule t.sim ~delay:propagation (fun () ->
+           Ccsim_engine.Sim.set_component t.sim "link";
+           t.sink pkt))
+
+(* Serialization complete under an armed impairment: decide the
+   packet's fate. Wire loss and corruption consume wire time but never
+   reach the sink (a corrupted packet is checksum-discarded by the
+   receiving end); duplication delivers a ghost copy; reordering and
+   delay spikes stretch propagation. Draw order is fixed
+   (loss, corruption, duplication, reordering) and each draw happens
+   only while its fault is armed, so arming one fault never perturbs
+   another's stream. *)
+and deliver_impaired t imp (pkt : Packet.t) =
+  let lost, corrupted =
+    match imp.fault_rng with
+    | None -> (false, false)
+    | Some rng ->
+        let lost = wire_lost imp rng in
+        let corrupted =
+          (not lost) && imp.corrupt_p > 0.0 && Ccsim_util.Rng.bernoulli rng ~p:imp.corrupt_p
+        in
+        (lost, corrupted)
+  in
+  if lost || corrupted then begin
+    (match t.wd with
+    | Some wd ->
+        wd.wd_lost_pkts <- wd.wd_lost_pkts + 1;
+        wd.wd_lost_bytes <- wd.wd_lost_bytes + pkt.size_bytes
+    | None -> ());
+    if lost then begin
+      imp.wire_lost_pkts <- imp.wire_lost_pkts + 1;
+      note_fault t ~what:"wire-loss" pkt
+    end
+    else begin
+      imp.wire_corrupted_pkts <- imp.wire_corrupted_pkts + 1;
+      note_fault t ~what:"corrupt" pkt
+    end
+  end
+  else begin
+    let duplicate, reorder_delay =
+      match imp.fault_rng with
+      | None -> (false, 0.0)
+      | Some rng ->
+          let duplicate =
+            imp.duplicate_p > 0.0 && Ccsim_util.Rng.bernoulli rng ~p:imp.duplicate_p
+          in
+          let reorder_delay =
+            match imp.reorder with
+            | Some (p, extra_s) when p > 0.0 && Ccsim_util.Rng.bernoulli rng ~p -> extra_s
+            | Some _ | None -> 0.0
+          in
+          (duplicate, reorder_delay)
+    in
+    if duplicate then begin
+      imp.wire_duplicated_pkts <- imp.wire_duplicated_pkts + 1;
+      note_fault t ~what:"duplicate" pkt
+    end;
+    if reorder_delay > 0.0 then begin
+      imp.wire_reordered_pkts <- imp.wire_reordered_pkts + 1;
+      note_fault t ~what:"reorder" pkt
+    end;
+    deliver t pkt ~extra_delay:(imp.spike_delay_s +. reorder_delay) ~duplicate
+  end
 
 let send t pkt =
   if t.qdisc.Qdisc.enqueue pkt && not t.busy then transmit_next t
+
+(* --- fault-injection hooks (Ccsim_faults) ------------------------------ *)
+
+let impairment t =
+  match t.imp with
+  | Some imp -> imp
+  | None ->
+      let imp = fresh_impairment () in
+      t.imp <- Some imp;
+      imp
+
+let require_rng t ~what =
+  match (impairment t).fault_rng with
+  | Some _ -> ()
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Link.%s: stochastic impairment needs Link.set_fault_rng first" what)
+
+let set_fault_rng t rng = (impairment t).fault_rng <- Some rng
+
+let set_outage t down =
+  let imp = impairment t in
+  let was_down = imp.down in
+  imp.down <- down;
+  (match t.obs.recorder with
+  | Some r ->
+      Obs.Recorder.record r
+        ~at:(Ccsim_engine.Sim.now t.sim)
+        ~severity:Obs.Recorder.Warn ~kind:"fault" ~point:"link"
+        (if down then "outage" else "restored")
+  | None -> ());
+  (* Restoration kicks serialization if traffic queued up during the
+     outage; an in-flight packet (scheduled before the outage) finishes
+     on its own and re-enters transmit_next. *)
+  if was_down && (not down) && not t.busy then transmit_next t
+
+let is_down t = match t.imp with Some imp -> imp.down | None -> false
+
+let set_loss_model t model =
+  (match model with
+  | None -> ()
+  | Some (Uniform { p }) ->
+      check_probability ~what:"set_loss_model" p;
+      require_rng t ~what:"set_loss_model"
+  | Some (Gilbert_elliott { p_enter; p_exit; loss_good; loss_bad }) ->
+      check_probability ~what:"set_loss_model" p_enter;
+      check_probability ~what:"set_loss_model" p_exit;
+      check_probability ~what:"set_loss_model" loss_good;
+      check_probability ~what:"set_loss_model" loss_bad;
+      require_rng t ~what:"set_loss_model");
+  let imp = impairment t in
+  imp.loss <- model;
+  (* Each arming starts the burst chain from the good state, so a
+     (plan, seed) pair replays the same chain regardless of what ran
+     before. *)
+  imp.ge_bad <- false
+
+let set_corrupt_p t p =
+  check_probability ~what:"set_corrupt_p" p;
+  if p > 0.0 then require_rng t ~what:"set_corrupt_p";
+  (impairment t).corrupt_p <- p
+
+let set_duplicate_p t p =
+  check_probability ~what:"set_duplicate_p" p;
+  if p > 0.0 then require_rng t ~what:"set_duplicate_p";
+  (impairment t).duplicate_p <- p
+
+let set_reorder t spec =
+  (match spec with
+  | None -> ()
+  | Some (p, extra_s) ->
+      check_probability ~what:"set_reorder" p;
+      if extra_s < 0.0 then invalid_arg "Link.set_reorder: negative extra delay";
+      if p > 0.0 then require_rng t ~what:"set_reorder");
+  (impairment t).reorder <- spec
+
+let set_spike_delay t extra_s =
+  if extra_s < 0.0 then invalid_arg "Link.set_spike_delay: negative extra delay";
+  (impairment t).spike_delay_s <- extra_s
+
+let wire_lost_packets t = match t.imp with Some i -> i.wire_lost_pkts | None -> 0
+let wire_corrupted_packets t = match t.imp with Some i -> i.wire_corrupted_pkts | None -> 0
+let wire_duplicated_packets t = match t.imp with Some i -> i.wire_duplicated_pkts | None -> 0
+let wire_reordered_packets t = match t.imp with Some i -> i.wire_reordered_pkts | None -> 0
 
 let as_sink t pkt = send t pkt
 let rate_bps t = t.rate_bps

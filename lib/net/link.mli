@@ -18,6 +18,19 @@
 
 type t
 
+type loss_model =
+  | Uniform of { p : float }  (** i.i.d. per-packet wire loss *)
+  | Gilbert_elliott of {
+      p_enter : float;  (** good→bad transition probability, per packet *)
+      p_exit : float;  (** bad→good transition probability, per packet *)
+      loss_good : float;  (** loss probability in the good state *)
+      loss_bad : float;  (** loss probability in the bad (burst) state *)
+    }
+(** Non-congestive wire-loss processes ({!set_loss_model}). A lost
+    packet consumes its serialization time but never reaches the sink —
+    loss that is {e not} caused by queue overflow, the regime where
+    elasticity detection must stay correct. *)
+
 val create :
   Ccsim_engine.Sim.t ->
   rate_bps:float ->
@@ -58,3 +71,56 @@ val utilization : t -> now:float -> float
 (** [busy_seconds / now]; 0 at time 0. *)
 
 val bytes_delivered : t -> int
+
+(** {1 Fault-injection hooks}
+
+    Driven by [Ccsim_faults.Injector]; every setter may also be used
+    directly in tests. Impairment state is allocated lazily by the
+    first setter, so a link that never sees a fault keeps its
+    byte-identical fast path. Stochastic impairments draw from the
+    stream installed with {!set_fault_rng} (SplitMix64, seeded by the
+    fault plan — never a global PRNG), with a fixed per-packet draw
+    order so a [(plan, seed)] pair reproduces exactly. *)
+
+val set_fault_rng : t -> Ccsim_util.Rng.t -> unit
+(** Install the random stream the stochastic impairments draw from.
+    Must be called before arming loss/corruption/duplication/reorder
+    (raises [Invalid_argument] otherwise). *)
+
+val set_outage : t -> bool -> unit
+(** [set_outage t true] takes the link down: serialization pauses, the
+    qdisc keeps accepting (and eventually tail-dropping) arrivals, and
+    an in-flight packet finishes. [set_outage t false] restores the
+    link and resumes serialization from the backlog. *)
+
+val is_down : t -> bool
+
+val set_loss_model : t -> loss_model option -> unit
+(** Arm (or clear, with [None]) a wire-loss process. Arming resets the
+    Gilbert–Elliott chain to the good state. Probabilities must lie in
+    [\[0, 1\]]. *)
+
+val set_corrupt_p : t -> float -> unit
+(** Per-packet bit-corruption probability: a corrupted packet is
+    delivered in time but checksum-discarded at the receiving end, so
+    it behaves as non-congestive loss journaled as ["corrupt"]. 0
+    disables. *)
+
+val set_duplicate_p : t -> float -> unit
+(** Per-packet duplication probability: the sink sees a ghost copy of
+    the packet at the same delivery time. 0 disables. *)
+
+val set_reorder : t -> (float * float) option -> unit
+(** [Some (p, extra_s)]: with probability [p] a delivered packet's
+    propagation is stretched by [extra_s] seconds, letting later
+    packets overtake it. [None] disables. *)
+
+val set_spike_delay : t -> float -> unit
+(** Extra propagation delay applied to every delivery while a delay
+    spike is live; 0 restores the base delay. *)
+
+val wire_lost_packets : t -> int
+val wire_corrupted_packets : t -> int
+val wire_duplicated_packets : t -> int
+val wire_reordered_packets : t -> int
+(** Cumulative impairment counters (0 when no fault was ever armed). *)

@@ -25,6 +25,22 @@ let drop stats (pkt : Packet.t) =
   stats.dropped <- stats.dropped + 1;
   stats.bytes_dropped <- stats.bytes_dropped + pkt.size_bytes
 
+(* Drain through the discipline's own dequeue path, then reclassify the
+   drained packets as drops: dequeued is rewound and dropped advanced,
+   so the conservation residue enqueued - dequeued - backlog stays
+   within [0, dropped] and the flushed packets read as losses to their
+   senders (they were in flight, never acked). *)
+let flush t =
+  let rec drain n =
+    match t.dequeue () with
+    | None -> n
+    | Some pkt ->
+        t.stats.dequeued <- t.stats.dequeued - 1;
+        drop t.stats pkt;
+        drain (n + 1)
+  in
+  drain 0
+
 let loss_rate t =
   let arrivals = t.stats.enqueued + t.stats.dropped in
   if arrivals = 0 then 0.0 else float_of_int t.stats.dropped /. float_of_int arrivals

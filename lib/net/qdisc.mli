@@ -46,6 +46,14 @@ val make_stats : unit -> stats
 val drop : stats -> Packet.t -> unit
 (** Account a drop. *)
 
+val flush : t -> int
+(** Drop the entire backlog (a qdisc reset, as when a discipline is
+    reconfigured live): every buffered packet is drained through the
+    discipline's own [dequeue] and re-accounted as dropped, so
+    conservation invariants hold and senders see the flushed packets as
+    losses. Returns the number of packets flushed. Used by
+    [Ccsim_faults] qdisc-reset events. *)
+
 val loss_rate : t -> float
 (** Drops / arrivals seen so far (0 when nothing arrived). *)
 

@@ -1,0 +1,33 @@
+(* Cooperative wall-clock deadline, propagated ambiently (Domain.DLS)
+   from the runner pool into any Sim the job creates. The engine polls
+   [exceeded] at event boundaries; the wall-clock read goes through
+   [Profile.wall_now], the sanctioned choke point, and never feeds any
+   simulated quantity — it only decides when to stop early. *)
+
+type t = { wall_deadline_s : float; mutable hit : bool }
+
+let create ~timeout_s =
+  if timeout_s <= 0.0 then invalid_arg "Deadline.create: timeout must be positive";
+  { wall_deadline_s = Profile.wall_now () +. timeout_s; hit = false }
+
+let exceeded t =
+  t.hit
+  ||
+  if Profile.wall_now () > t.wall_deadline_s then begin
+    t.hit <- true;
+    true
+  end
+  else false
+
+let hit t = t.hit
+
+(* Domain-local so pool workers (sibling domains) each see only their
+   own job's deadline, mirroring Scope. *)
+let key = Domain.DLS.new_key (fun () -> None)
+
+let ambient () : t option = Domain.DLS.get key
+
+let with_deadline d f =
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key (Some d);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f

@@ -1,0 +1,35 @@
+(** Cooperative wall-clock deadline for runner jobs.
+
+    OCaml domains cannot be interrupted, so job timeouts are
+    cooperative: the pool arms a deadline around the job thunk
+    ({!with_deadline}), and every {!Ccsim_engine.Sim.run} inside polls
+    {!exceeded} at event boundaries. When the deadline passes, the sim
+    stops cleanly between events, the job's collection code still runs,
+    and its partial metrics/series are salvaged instead of discarded —
+    the result is reported as degraded rather than lost.
+
+    The wall-clock read goes through {!Profile.wall_now} (the
+    ccsim-lint-sanctioned helper) and never influences any simulated
+    quantity: a run that finishes before its deadline is byte-identical
+    to an undeadlined run. *)
+
+type t
+
+val create : timeout_s:float -> t
+(** Deadline [timeout_s] seconds of wall-clock time from now. Raises
+    [Invalid_argument] if the timeout is not positive. *)
+
+val exceeded : t -> bool
+(** Has the deadline passed? Latches: once true, always true (and
+    {!hit} reports it without further clock reads). *)
+
+val hit : t -> bool
+(** Whether {!exceeded} ever returned true — i.e. whether some run was
+    (or should have been) cut short. Never reads the clock. *)
+
+val ambient : unit -> t option
+(** The calling domain's armed deadline, if any. *)
+
+val with_deadline : t -> (unit -> 'a) -> 'a
+(** Run [f] with the deadline armed for this domain; restores the
+    previous deadline on exit, including on exceptions. *)

@@ -7,38 +7,67 @@ type violation = {
 
 exception Violation of violation
 
+type policy = Warn | Quarantine | Abort
+
+let policy_to_string = function
+  | Warn -> "warn"
+  | Quarantine -> "quarantine"
+  | Abort -> "abort"
+
+let policy_of_string = function
+  | "warn" -> Some Warn
+  | "quarantine" -> Some Quarantine
+  | "abort" -> Some Abort
+  | _ -> None
+
 type check = { c_component : string; c_invariant : string; run : unit -> string option }
+
+(* Under [Warn]/[Quarantine] a broken invariant keeps failing on every
+   sweep; violations are deduplicated by (component, invariant) and the
+   list is capped so a long run cannot accumulate unbounded reports. *)
+let max_violations = 64
 
 type t = {
   interval : float;
+  policy : policy;
   mutable checks : check list;  (* registration order, newest first *)
   mutable tripped : violation option;
+  mutable noted : violation list;  (* newest first, deduped, capped *)
   mutable checks_run : int;
 }
 
 let default_interval = 0.25
 
-let create ?(interval = default_interval) () =
+let create ?(interval = default_interval) ?(policy = Abort) () =
   if interval <= 0.0 then invalid_arg "Watchdog.create: interval must be positive";
-  { interval; checks = []; tripped = None; checks_run = 0 }
+  { interval; policy; checks = []; tripped = None; noted = []; checks_run = 0 }
 
 let interval t = t.interval
+let policy t = t.policy
 let checks t = List.length t.checks
 let checks_run t = t.checks_run
 let violation t = t.tripped
+let violations t = List.rev t.noted
+let degraded t = t.policy = Quarantine && t.tripped <> None
 
-let register t ~component ~invariant run =
-  t.checks <- { c_component = component; c_invariant = invariant; run } :: t.checks
+let note t v =
+  if t.tripped = None then t.tripped <- Some v;
+  let dup =
+    List.exists
+      (fun n -> n.component = v.component && n.invariant = v.invariant)
+      t.noted
+  in
+  if (not dup) && List.length t.noted < max_violations then t.noted <- v :: t.noted
 
 let violate t ~now ~component ~invariant message =
   let v = { at = now; component; invariant; message } in
-  if t.tripped = None then t.tripped <- Some v;
-  raise (Violation v)
+  note t v;
+  match t.policy with Abort -> raise (Violation v) | Warn | Quarantine -> ()
 
 let check_now t ~now =
-  match t.tripped with
-  | Some v -> raise (Violation v)
-  | None ->
+  match (t.tripped, t.policy) with
+  | Some v, Abort -> raise (Violation v)
+  | _, _ ->
       List.iter
         (fun c ->
           t.checks_run <- t.checks_run + 1;
@@ -46,6 +75,9 @@ let check_now t ~now =
           | None -> ()
           | Some msg -> violate t ~now ~component:c.c_component ~invariant:c.c_invariant msg)
         (List.rev t.checks)
+
+let register t ~component ~invariant run =
+  t.checks <- { c_component = component; c_invariant = invariant; run } :: t.checks
 
 let watch_timeline t tl =
   register t ~component:"timeline" ~invariant:"sample_ordering" (fun () ->

@@ -3,8 +3,16 @@
     Components register named invariant checks — closures returning
     [None] while the invariant holds, or [Some detail] when it is
     broken. The engine runs every check on a periodic sim-clock driver
-    (and once more at the end of a run); the first failure raises
-    {!Violation} with a structured record, aborting the run.
+    (and once more at the end of a run); what happens on a failure is
+    the watchdog's {!policy}:
+
+    - [Abort] (default): the first failure raises {!Violation} with a
+      structured record, aborting the run — the historical behaviour.
+    - [Quarantine]: the run continues; violations are collected
+      ({!violations}) and the run is flagged {!degraded}, which the
+      runner report surfaces instead of killing the job.
+    - [Warn]: the run continues and violations are collected, but the
+      run is not marked degraded — observe-only mode.
 
     Checks are written against physically conserved quantities (packet
     and byte conservation per link, queue backlog within capacity,
@@ -23,28 +31,39 @@ exception Violation of violation
 (** Registered with [Printexc] so runner job errors carry the one-line
     report. *)
 
+type policy = Warn | Quarantine | Abort
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+(** ["warn"] / ["quarantine"] / ["abort"]; [None] otherwise. *)
+
 type t
 
 val default_interval : float
 (** 0.25 s between check sweeps. *)
 
-val create : ?interval:float -> unit -> t
-(** Raises [Invalid_argument] if [interval <= 0]. *)
+val create : ?interval:float -> ?policy:policy -> unit -> t
+(** Default policy [Abort]. Raises [Invalid_argument] if
+    [interval <= 0]. *)
 
 val interval : t -> float
+val policy : t -> policy
 
 val register : t -> component:string -> invariant:string -> (unit -> string option) -> unit
 (** Add a check. The closure runs on every sweep; return [Some detail]
-    to fail the run. *)
+    to fail the run (under [Abort]) or flag it (otherwise). *)
 
 val check_now : t -> now:float -> unit
-(** Run every registered check (registration order); raises
-    {!Violation} on the first failure — and on every subsequent call
-    once tripped, so a violation cannot be outrun. *)
+(** Run every registered check (registration order). Under [Abort]:
+    raises {!Violation} on the first failure — and on every subsequent
+    call once tripped, so a violation cannot be outrun. Under [Warn] /
+    [Quarantine]: records failures (deduplicated by component and
+    invariant, capped) and returns. *)
 
-val violate : t -> now:float -> component:string -> invariant:string -> string -> 'a
+val violate : t -> now:float -> component:string -> invariant:string -> string -> unit
 (** Fail immediately from inline code (e.g. the engine's monotonicity
-    check) without registering a closure. *)
+    check) without registering a closure; raises under [Abort],
+    records otherwise. *)
 
 val watch_timeline : t -> Timeline.t -> unit
 (** Register the telemetry-ordering invariant over a timeline's
@@ -52,6 +71,15 @@ val watch_timeline : t -> Timeline.t -> unit
 
 val violation : t -> violation option
 (** The first violation, if the watchdog tripped. *)
+
+val violations : t -> violation list
+(** Every recorded violation, oldest first — at most one per
+    (component, invariant) pair, capped. Under [Abort] this holds at
+    most the violation that raised. *)
+
+val degraded : t -> bool
+(** Tripped under the [Quarantine] policy: the run completed but its
+    results must be treated as degraded. *)
 
 val checks : t -> int
 (** Number of registered checks. *)

@@ -32,6 +32,7 @@ type result = {
   queue_wait_s : float;
   wall_s : float;
   timed_out : bool;
+  degraded : bool;
 }
 
 let error_row ~name msg = Printf.sprintf "%s: ERROR %s\n" name msg

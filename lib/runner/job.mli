@@ -28,6 +28,11 @@ type result = {
   queue_wait_s : float;  (** submission-to-start latency *)
   wall_s : float;  (** execution wall-clock (0 on a cache hit) *)
   timed_out : bool;
+  degraded : bool;
+      (** The job hit its cooperative deadline (or tripped a
+          quarantine-policy watchdog) but still produced salvageable
+          partial output: [ok] stays true, the output is kept out of
+          the cache, and reports mark the row degraded. *)
 }
 
 val error_row : name:string -> string -> string

@@ -1,12 +1,34 @@
 type config = {
   jobs : int;
   retries : int;
+  backoff_base_s : float;
+  backoff_cap_s : float;
   timeout_s : float option;
   cache : Cache.t option;
 }
 
-let config ?(jobs = 1) ?(retries = 0) ?timeout_s ?cache () =
-  { jobs; retries; timeout_s; cache }
+let config ?(jobs = 1) ?(retries = 0) ?(backoff_base_s = 0.05) ?(backoff_cap_s = 1.0) ?timeout_s
+    ?cache () =
+  if backoff_base_s < 0.0 then invalid_arg "Pool.config: backoff_base_s must be non-negative";
+  if backoff_cap_s < backoff_base_s then
+    invalid_arg "Pool.config: backoff_cap_s must be >= backoff_base_s";
+  { jobs; retries; backoff_base_s; backoff_cap_s; timeout_s; cache }
+
+(* Capped exponential backoff before retry [attempt + 1]: base doubles
+   per failed attempt up to the cap, then a jitter factor in [0.5, 1)
+   decorrelates workers. The jitter stream is seeded from the job
+   digest and attempt number, never a global PRNG, so the schedule is a
+   pure function of the job — deterministic under ccsim-lint R2 (sleep
+   durations are timing, not simulated results). *)
+let backoff_delay_s config ~digest ~attempt =
+  if config.backoff_base_s <= 0.0 then 0.0
+  else begin
+    let doublings = min (attempt - 1) 30 in
+    let raw = config.backoff_base_s *. (2.0 ** float_of_int doublings) in
+    let capped = Float.min config.backoff_cap_s raw in
+    let rng = Ccsim_util.Rng.create (Hashtbl.hash (digest, attempt)) in
+    capped *. (0.5 +. Ccsim_util.Rng.float rng 0.5)
+  end
 
 let exec_one config ~queue_wait_s (job : Job.t) : Job.result =
   let cached =
@@ -25,22 +47,41 @@ let exec_one config ~queue_wait_s (job : Job.t) : Job.result =
         queue_wait_s;
         wall_s = 0.0;
         timed_out = false;
+        degraded = false;
       }
   | None ->
+      let deadline =
+        match config.timeout_s with
+        | Some timeout_s -> Some (Ccsim_obs.Deadline.create ~timeout_s)
+        | None -> None
+      in
+      let deadline_hit () =
+        match deadline with Some d -> Ccsim_obs.Deadline.hit d | None -> false
+      in
       let started = Unix.gettimeofday () in
       let rec attempt k =
         match job.run () with
         | output -> (Ok output, k)
         | exception e ->
-            if k <= config.retries then attempt (k + 1)
+            (* A job cut short by its deadline may surface the stop as
+               an exception; retrying it would just time out again. *)
+            if k <= config.retries && not (deadline_hit ()) then begin
+              Unix.sleepf (backoff_delay_s config ~digest:job.digest ~attempt:k);
+              attempt (k + 1)
+            end
             else (Error (Printexc.to_string e), k)
       in
-      let outcome, attempts = attempt 1 in
-      let wall_s = Unix.gettimeofday () -. started in
-      let timed_out =
-        match config.timeout_s with Some t -> wall_s > t | None -> false
+      let outcome, attempts =
+        match deadline with
+        | None -> attempt 1
+        | Some d -> Ccsim_obs.Deadline.with_deadline d (fun () -> attempt 1)
       in
-      let base ~output ~ok ~error =
+      let wall_s = Unix.gettimeofday () -. started in
+      let hit = deadline_hit () in
+      let timed_out =
+        hit || (match config.timeout_s with Some t -> wall_s > t | None -> false)
+      in
+      let base ~output ~ok ~error ~degraded =
         {
           Job.name = job.name;
           digest = job.digest;
@@ -52,6 +93,7 @@ let exec_one config ~queue_wait_s (job : Job.t) : Job.result =
           queue_wait_s;
           wall_s;
           timed_out;
+          degraded;
         }
       in
       (match (outcome, timed_out) with
@@ -59,19 +101,32 @@ let exec_one config ~queue_wait_s (job : Job.t) : Job.result =
           (match config.cache with
           | Some c -> Cache.store c ~digest:job.digest output
           | None -> ());
-          base ~output ~ok:true ~error:None
+          base ~output ~ok:true ~error:None ~degraded:false
+      | Ok output, true when hit ->
+          (* The cooperative deadline fired and the job still returned:
+             its sims stopped at event boundaries and the partial
+             metrics/series were collected. Salvage the output (never
+             cached — it does not correspond to the digest's params)
+             and mark the row degraded. *)
+          let msg =
+            Printf.sprintf "deadline %gs hit; partial results salvaged (ran %.1fs)"
+              (Option.get config.timeout_s) wall_s
+          in
+          base ~output ~ok:true ~error:(Some msg) ~degraded:true
       | Ok _, true ->
           let msg =
             Printf.sprintf "exceeded %gs timeout (ran %.1fs)"
               (Option.get config.timeout_s) wall_s
           in
           base ~output:(Job.error_row ~name:job.name msg) ~ok:false ~error:(Some msg)
+            ~degraded:false
       | Error msg, _ ->
           let msg =
             if attempts > 1 then Printf.sprintf "%s (after %d attempts)" msg attempts
             else msg
           in
-          base ~output:(Job.error_row ~name:job.name msg) ~ok:false ~error:(Some msg))
+          base ~output:(Job.error_row ~name:job.name msg) ~ok:false ~error:(Some msg)
+            ~degraded:false)
 
 let run config jobs_list =
   let jobs = Array.of_list jobs_list in

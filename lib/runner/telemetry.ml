@@ -16,6 +16,15 @@ let now_s = Unix.gettimeofday
 let count p t = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 t.results
 let cache_hits = count (fun (r : Job.result) -> r.cache_hit)
 let failures = count (fun (r : Job.result) -> not r.ok)
+let degraded = count (fun (r : Job.result) -> r.degraded)
+let timeouts = count (fun (r : Job.result) -> r.timed_out)
+
+(* Unified CLI exit codes (documented in README): 0 all jobs ok,
+   1 verdict/job failure, 124 timeout (including degraded deadline
+   hits). Usage errors exit 2 via cmdliner; unsupported backends exit
+   124 before any pool run. *)
+let exit_code t =
+  if timeouts t > 0 then 124 else if failures t > 0 then 1 else 0
 
 let summary t =
   let table =
@@ -35,7 +44,10 @@ let summary t =
       Table.add_row table
         [
           r.name;
-          (if r.ok then "ok" else if r.timed_out then "timeout" else "error");
+          (if r.degraded then "degraded"
+           else if r.ok then "ok"
+           else if r.timed_out then "timeout"
+           else "error");
           (if r.cache_hit then "hit" else "miss");
           string_of_int r.attempts;
           Table.cell_f ~decimals:3 r.queue_wait_s;
@@ -44,9 +56,9 @@ let summary t =
     t.results;
   let busy = Array.fold_left (fun s (r : Job.result) -> s +. r.wall_s) 0.0 t.results in
   Printf.sprintf
-    "run telemetry: %d jobs on %d worker(s), %.3fs wall (%.3fs cumulative job time), %d cache hit(s), %d failure(s)\n%s"
+    "run telemetry: %d jobs on %d worker(s), %.3fs wall (%.3fs cumulative job time), %d cache hit(s), %d failure(s), %d degraded\n%s"
     (Array.length t.results) t.pool_jobs t.total_wall_s busy (cache_hits t)
-    (failures t) (Table.render table)
+    (failures t) (degraded t) (Table.render table)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -66,8 +78,8 @@ let json_escape s =
 let to_json ?(profiles = []) t =
   let buf = Buffer.create 2048 in
   Printf.bprintf buf
-    "{\n  \"schema\": \"ccsim-runner/1\",\n  \"pool_jobs\": %d,\n  \"total_wall_s\": %.6f,\n  \"cache_hits\": %d,\n  \"failures\": %d,\n  \"jobs\": [\n"
-    t.pool_jobs t.total_wall_s (cache_hits t) (failures t);
+    "{\n  \"schema\": \"ccsim-runner/1\",\n  \"pool_jobs\": %d,\n  \"total_wall_s\": %.6f,\n  \"cache_hits\": %d,\n  \"failures\": %d,\n  \"degraded\": %d,\n  \"jobs\": [\n"
+    t.pool_jobs t.total_wall_s (cache_hits t) (failures t) (degraded t);
   Array.iteri
     (fun i (r : Job.result) ->
       let profile_field =
@@ -76,9 +88,9 @@ let to_json ?(profiles = []) t =
         | None -> ""
       in
       Printf.bprintf buf
-        "    {\"name\": \"%s\", \"digest\": \"%s\", \"ok\": %b, \"cache_hit\": %b, \"attempts\": %d, \"queue_wait_s\": %.6f, \"wall_s\": %.6f, \"timed_out\": %b, \"error\": %s%s}%s\n"
+        "    {\"name\": \"%s\", \"digest\": \"%s\", \"ok\": %b, \"cache_hit\": %b, \"attempts\": %d, \"queue_wait_s\": %.6f, \"wall_s\": %.6f, \"timed_out\": %b, \"degraded\": %b, \"error\": %s%s}%s\n"
         (json_escape r.name) (json_escape r.digest) r.ok r.cache_hit r.attempts
-        r.queue_wait_s r.wall_s r.timed_out
+        r.queue_wait_s r.wall_s r.timed_out r.degraded
         (match r.error with
         | None -> "null"
         | Some e -> Printf.sprintf "\"%s\"" (json_escape e))

@@ -21,6 +21,19 @@ val now_s : unit -> float
 val cache_hits : t -> int
 val failures : t -> int
 
+val degraded : t -> int
+(** Jobs whose cooperative deadline fired but whose partial output was
+    salvaged ([ok] true, kept out of the cache). *)
+
+val timeouts : t -> int
+(** Jobs with [timed_out] set (degraded deadline hits included). *)
+
+val exit_code : t -> int
+(** The unified CLI exit code for this run: 124 if any job timed out
+    (hard or degraded), else 1 if any job failed, else 0. Usage errors
+    (2) and unsupported backends (124) are decided before a pool run
+    exists. *)
+
 val summary : t -> string
 (** Rendered per-job table plus a totals line. *)
 

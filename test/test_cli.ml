@@ -1,0 +1,44 @@
+(* The ccsim CLI's exit-code contract (README "Fault injection &
+   chaos"): 0 ok, 1 job/verdict failure, 2 usage error, 124 deadline or
+   unsupported backend. Regression-tested against the real binary —
+   cmdliner 1.3.0 hard-codes 124 for option-converter failures, so the
+   CLI maps codes itself and this suite pins the mapping. *)
+
+(* The binary sits next to this test in the build tree
+   (_build/default/{test,bin}); resolving via the running executable
+   works under both `dune runtest` and `dune exec` from the root. *)
+let binary =
+  Filename.concat (Filename.dirname Sys.executable_name) (Filename.concat ".." "bin/ccsim.exe")
+
+let ccsim args = Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" (Filename.quote binary) args)
+
+let check_code name args expected =
+  Alcotest.(check int) (Printf.sprintf "%s: `ccsim %s`" name args) expected (ccsim args)
+
+let test_ok () =
+  check_code "listing runs clean" "list" 0;
+  check_code "version runs clean" "--version" 0
+
+let test_usage_errors () =
+  check_code "unknown command" "no-such-command" 2;
+  check_code "unknown flag" "e4 --bogus-flag" 2;
+  check_code "malformed float" "e4 --duration abc" 2;
+  check_code "malformed fault plan" "e4 --faults bogus" 2;
+  check_code "fault plan with bad field" "e4 --faults \"outage at=1\"" 2;
+  check_code "unknown sweep experiment" "sweep nope --seeds 1,2" 2
+
+let test_job_failure () =
+  (* duration <= warmup makes Scenario.make raise: the job fails, the
+     run completes, and the CLI reports a job failure. *)
+  check_code "invalid scenario" "fig1 --duration 2" 1
+
+let test_unsupported_backend () =
+  check_code "packet-only experiment on fluid backend" "e1 --backend fluid" 124
+
+let suite =
+  [
+    Alcotest.test_case "exit 0: success paths" `Quick test_ok;
+    Alcotest.test_case "exit 2: usage errors (incl. fault plans)" `Quick test_usage_errors;
+    Alcotest.test_case "exit 1: job failure" `Quick test_job_failure;
+    Alcotest.test_case "exit 124: unsupported backend" `Quick test_unsupported_backend;
+  ]

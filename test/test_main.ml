@@ -14,6 +14,8 @@ let () =
       ("features", Test_features.suite);
       ("parking lot", Test_parking_lot.suite);
       ("runner", Test_runner.suite);
+      ("faults", Test_faults.suite);
+      ("cli", Test_cli.suite);
       ("fluid", Test_fluid.suite);
       ("obs", Test_obs.suite);
       ("timeline", Test_timeline.suite);
