@@ -92,6 +92,15 @@ let bench_tests =
              in
              Ccsim_obs.Scope.with_scope scope (fun () ->
                  ignore (Ccsim_core.E4_app_limited.run ~duration:8.0 ()))));
+      (* Profiler-only overhead: the engine hot-path counters
+         (scheduled/cancelled, packets, heap depth) plus sampled Gc
+         deltas — the `ccsim perf` configuration. Compare against
+         e4_app_limited above; EXPERIMENTS.md tracks this delta. *)
+      Test.make ~name:"e4_app_limited_profile_only"
+        (Staged.stage (fun () ->
+             let scope = Ccsim_obs.Scope.v ~profile:(Ccsim_obs.Profile.create ()) () in
+             Ccsim_obs.Scope.with_scope scope (fun () ->
+                 ignore (Ccsim_core.E4_app_limited.run ~duration:8.0 ()))));
       (* Timeline sampling + invariant watchdog overhead (the --series
          --check path). Compare against e4_app_limited above. *)
       Test.make ~name:"e4_app_limited_timeline_check"

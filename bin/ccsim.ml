@@ -275,7 +275,14 @@ let wrap_thunk cfg ~name thunk =
         } )
   end
 
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
 let write_file path content =
+  mkdir_p (Filename.dirname path);
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc content)
 
@@ -631,6 +638,140 @@ let sweep_cmd =
       const run $ ids_arg $ seeds_arg $ durations_arg $ populations_arg $ backends_arg
       $ jobs_arg $ no_cache_arg $ report_arg $ obs_cfg_term $ faults_term)
 
+(* --- engine micro-benchmark (`ccsim perf`) --------------------------------- *)
+
+(* A fixed matrix of engine-stressing scenarios, one per execution
+   regime: pure packet dumbbell (e4), a heavier packet ablation slice
+   (a4), the pure-fluid ODE stepper, and the hybrid coupling. Each row
+   runs in-process under a fresh profile + metrics scope and lands in
+   BENCH_engine.json; CI gates the quick variant's shape and trends the
+   full variant against the checked-in baseline. *)
+type perf_row = {
+  row_name : string;
+  row_exp : string;
+  row_backend : string option;
+  row_duration : float option;
+  row_n : int option;
+}
+
+let perf_matrix ~quick =
+  let t q f = Some (if quick then q else f) in
+  let n q f = Some (if quick then q else f) in
+  [
+    (* Durations must clear each scenario's warmup (e4: 5s, a4: 15s). *)
+    { row_name = "packet-dumbbell"; row_exp = "e4"; row_backend = None;
+      row_duration = t 8.0 15.0; row_n = None };
+    { row_name = "packet-sweep-slice"; row_exp = "a4"; row_backend = None;
+      row_duration = t 16.0 24.0; row_n = None };
+    { row_name = "fluid-population"; row_exp = "p1"; row_backend = Some "fluid";
+      row_duration = None; row_n = n 2000 10_000 };
+    { row_name = "hybrid-population"; row_exp = "p1"; row_backend = Some "hybrid";
+      row_duration = None; row_n = n 150 300 };
+  ]
+
+let perf_run_row ~seed row =
+  let e =
+    match E.find row.row_exp with
+    | Some e -> e
+    | None -> failwith ("ccsim perf: unknown experiment " ^ row.row_exp)
+  in
+  let metrics = Obs.Metrics.create () in
+  let profile = Obs.Profile.create () in
+  let scope = Obs.Scope.v ~metrics ~profile () in
+  let t0 = R.Telemetry.now_s () in
+  let (_ : string) =
+    Obs.Scope.with_scope scope (fun () ->
+        e.render ?backend:row.row_backend ?duration:row.row_duration ?n:row.row_n ~seed ())
+  in
+  let wall_s = R.Telemetry.now_s () -. t0 in
+  let heap_p99 =
+    match Obs.Metrics.find_histogram metrics "engine_heap_depth" with
+    | Some h -> Obs.Metrics.quantile h 0.99
+    | None -> 0.0
+  in
+  (profile, wall_s, heap_p99)
+
+let perf_row_json row (p, wall_s, heap_p99) =
+  let fnum v = Printf.sprintf "%.6f" v in
+  let delivered = Obs.Profile.packets_delivered p in
+  let pkts_per_wall_s =
+    if wall_s > 0.0 then float_of_int delivered /. wall_s else 0.0
+  in
+  Printf.sprintf
+    "    {\"name\": \"%s\", \"experiment\": \"%s\", \"backend\": \"%s\", \"duration_s\": %s, \
+     \"n\": %s, \"wall_s\": %s, \"sim_s\": %s, \"events_executed\": %d, \
+     \"events_scheduled\": %d, \"events_cancelled\": %d, \"events_per_sec\": %.0f, \
+     \"sim_speedup\": %.2f, \"pkts_enqueued\": %d, \"pkts_dequeued\": %d, \
+     \"pkts_delivered\": %d, \"pkts_dropped\": %d, \"pkts_per_wall_s\": %.0f, \
+     \"minor_words_per_event\": %.1f, \"minor_words_per_packet\": %.1f, \
+     \"heap_depth_p99\": %.1f, \"max_heap_depth\": %d}"
+    row.row_name row.row_exp
+    (match row.row_backend with Some b -> b | None -> "packet")
+    (match row.row_duration with Some d -> fnum d | None -> "null")
+    (match row.row_n with Some n -> string_of_int n | None -> "null")
+    (fnum wall_s) (fnum (Obs.Profile.sim_s p)) (Obs.Profile.events_executed p)
+    (Obs.Profile.events_scheduled p) (Obs.Profile.events_cancelled p)
+    (Obs.Profile.events_per_sec p) (Obs.Profile.sim_speedup p)
+    (Obs.Profile.packets_enqueued p) (Obs.Profile.packets_dequeued p) delivered
+    (Obs.Profile.packets_dropped p) pkts_per_wall_s
+    (Obs.Profile.minor_words_per_event p) (Obs.Profile.minor_words_per_packet p)
+    heap_p99 (Obs.Profile.max_heap_depth p)
+
+let perf_cmd =
+  let quick_arg =
+    let doc =
+      "Short variant for CI smoke runs: same matrix, smaller durations and populations. \
+       Numbers are noisier; the baseline comparison uses the full variant."
+    in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Write the engine benchmark report (schema ccsim-engine/1) to $(docv)." in
+    Arg.(value & opt string "BENCH_engine.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run quick out seed =
+    let rows = perf_matrix ~quick in
+    let results =
+      List.map
+        (fun row ->
+          let ((p, wall_s, _) as res) = perf_run_row ~seed row in
+          Printf.printf "%-20s %8.2fs wall  %9.0f events/s  %9.0f pkts/s  %7.1fx sim\n%!"
+            row.row_name wall_s
+            (Obs.Profile.events_per_sec p)
+            (if wall_s > 0.0 then
+               float_of_int (Obs.Profile.packets_delivered p) /. wall_s
+             else 0.0)
+            (Obs.Profile.sim_speedup p);
+          (row, res))
+        rows
+    in
+    let buf = Buffer.create 4096 in
+    Printf.bprintf buf
+      "{\n  \"schema\": \"ccsim-engine/1\",\n  \"mode\": \"%s\",\n  \"seed\": %d,\n  \
+       \"host\": {\"date\": \"%s\", \"ocaml\": \"%s\", \"word_size\": %d, \"cores\": %d},\n  \
+       \"rows\": [\n"
+      (if quick then "quick" else "full")
+      seed (R.Telemetry.date_utc ()) Sys.ocaml_version Sys.word_size
+      (R.Telemetry.host_cores ());
+    List.iteri
+      (fun i (row, res) ->
+        Buffer.add_string buf (perf_row_json row res);
+        Buffer.add_string buf (if i = List.length results - 1 then "\n" else ",\n"))
+      results;
+    Buffer.add_string buf "  ]\n}\n";
+    write_file out (Buffer.contents buf);
+    Printf.printf "wrote %s (%s mode)\n" out (if quick then "quick" else "full");
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Benchmark the simulation engine itself: a fixed micro-scenario matrix (packet, \
+          fluid, hybrid) run under the profiler, reporting events/s, simulated packets per \
+          wall-second, allocation per event/packet and heap-depth quantiles to \
+          BENCH_engine.json")
+    Term.(const run $ quick_arg $ out_arg $ seed_arg)
+
 let analyze_cmd =
   let file_arg =
     let doc = "NDJSON series file produced by a run with --series." in
@@ -681,7 +822,7 @@ let main =
   let doc = "reproduce 'How I Learned to Stop Worrying About CCA Contention' (HotNets '23)" in
   Cmd.group
     (Cmd.info "ccsim" ~version:"1.0.0" ~doc)
-    (List.map exp_cmd E.all @ [ all_cmd; sweep_cmd; analyze_cmd; list_cmd ])
+    (List.map exp_cmd E.all @ [ all_cmd; sweep_cmd; analyze_cmd; perf_cmd; list_cmd ])
 
 (* Unified exit codes (README): 0 ok, 1 verdict/job failure, 2 usage
    error, 124 timeout or unsupported backend. Cmdliner's defaults remap

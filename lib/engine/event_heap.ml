@@ -58,6 +58,8 @@ let add t ~time payload =
   t.live <- t.live + 1;
   id
 
+let cancelled id = id.cancelled
+
 let cancel t id =
   if not id.cancelled then begin
     id.cancelled <- true;

@@ -22,6 +22,11 @@ val cancel : 'a t -> id -> unit
     {!pop}; cancelling twice or cancelling an already-fired event is a
     no-op. *)
 
+val cancelled : id -> bool
+(** Whether the event already fired or was cancelled — i.e. whether a
+    {!cancel} on it would be a no-op. Lets the profiler count only
+    live cancellations. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest non-cancelled event, or [None] when
     the heap has none left. *)

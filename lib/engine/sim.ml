@@ -10,6 +10,9 @@ type t = {
   mutable component : string;
       (* label the in-flight event callback charges its execution to;
          reset to "other" before each event when profiling *)
+  heap_hist : Obs.Metrics.histogram option;
+      (* event-heap depth observed per executed event when a metrics
+         registry is ambient; aggregates across sims by instrument name *)
   timeline : Obs.Timeline.t option;
   watchdog : Obs.Watchdog.t option;
   mutable tl_tags : (string * string) list;
@@ -34,16 +37,23 @@ let deadline_poll_every = 512
    is done). [driver_pending] counts the scheduled ticks so the timeline
    and watchdog drivers do not keep each other alive either. *)
 let install_driver t ~interval ~comp f =
+  let note_tick () =
+    match t.profile with
+    | None -> ()
+    | Some p -> Obs.Profile.note_scheduled p ~comp
+  in
   let rec tick () =
     t.driver_pending <- t.driver_pending - 1;
     t.component <- comp;
     f ();
     if Event_heap.size t.heap > t.driver_pending then begin
       t.driver_pending <- t.driver_pending + 1;
+      note_tick ();
       ignore (Event_heap.add t.heap ~time:(t.clock +. interval) tick)
     end
   in
   t.driver_pending <- t.driver_pending + 1;
+  note_tick ();
   ignore (Event_heap.add t.heap ~time:(t.clock +. interval) tick)
 
 let periodic_driver t ~interval ~comp f =
@@ -58,6 +68,11 @@ let sample_probes t () =
 let create ?profile ?timeline ?watchdog () =
   let scope = Obs.Scope.ambient () in
   let profile = match profile with Some _ -> profile | None -> scope.Obs.Scope.profile in
+  let heap_hist =
+    match scope.Obs.Scope.metrics with
+    | Some m -> Some (Obs.Metrics.histogram m "engine_heap_depth")
+    | None -> None
+  in
   let timeline =
     match timeline with Some _ -> timeline | None -> scope.Obs.Scope.timeline
   in
@@ -75,6 +90,7 @@ let create ?profile ?timeline ?watchdog () =
       clock = 0.0;
       stopped = false;
       profile;
+      heap_hist;
       component = "other";
       timeline;
       watchdog;
@@ -114,15 +130,31 @@ let add_timeline_probe t ?labels name probe =
   | None -> ()
   | Some s -> t.probes <- (s, probe) :: t.probes
 
+(* Scheduled/cancelled events are attributed to the component whose
+   callback is running when the call happens ("other" during setup) —
+   a field store plus one memoized lookup, only when profiling. *)
+let note_scheduled t =
+  match t.profile with
+  | None -> ()
+  | Some p -> Ccsim_obs.Profile.note_scheduled p ~comp:t.component
+
 let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Sim.schedule_at: time precedes the clock";
+  note_scheduled t;
   Event_heap.add t.heap ~time f
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  note_scheduled t;
   Event_heap.add t.heap ~time:(t.clock +. delay) f
 
-let cancel t id = Event_heap.cancel t.heap id
+let cancel t id =
+  (match t.profile with
+  | None -> ()
+  | Some p ->
+      if not (Event_heap.cancelled id) then
+        Ccsim_obs.Profile.note_cancelled p ~comp:t.component);
+  Event_heap.cancel t.heap id
 
 let step t =
   match Event_heap.pop t.heap with
@@ -135,6 +167,9 @@ let step t =
             (Printf.sprintf "event at t=%.9f precedes the clock at t=%.9f" time t.clock)
       | Some _ | None -> ());
       t.clock <- time;
+      (match t.heap_hist with
+      | None -> ()
+      | Some h -> Obs.Metrics.observe h (float_of_int (Event_heap.size t.heap + 1)));
       (match t.profile with
       | None -> f ()
       | Some p ->
@@ -176,7 +211,11 @@ let run ?until t =
   | Some u when t.clock < u && not t.stopped -> t.clock <- u
   | Some _ | None -> ());
   (match t.profile with
-  | Some p -> Ccsim_obs.Profile.note_sim_time p t.clock
+  | Some p ->
+      Ccsim_obs.Profile.note_sim_time p t.clock;
+      (* Close the allocation-sampling window so the Gc totals cover
+         the whole run, not just the last full window. *)
+      Ccsim_obs.Profile.gc_flush p
   | None -> ());
   (* A final sweep so violations between the last periodic check and the
      end of the run still fail it. *)

@@ -18,8 +18,17 @@ val create :
     {!Ccsim_obs.Scope} when omitted.
 
     With [profile], every executed event is timed and charged to the
-    component label its callback declares via {!set_component}, and the
-    peak heap depth and furthest simulated clock are tracked.
+    component label its callback declares via {!set_component}; the
+    peak heap depth and furthest simulated clock are tracked; scheduled
+    and cancelled events are counted per component (attributed to the
+    component running when the call happens); and sampled [Gc] deltas
+    accumulate allocation totals (flushed when {!run} returns, see
+    {!Ccsim_obs.Profile.gc_flush}).
+
+    With an ambient {!Ccsim_obs.Scope} metrics registry, the event-heap
+    depth is observed per executed event into the shared
+    ["engine_heap_depth"] histogram (one instrument per registry, so
+    multiple sims in a job aggregate).
 
     With [timeline], the sim tags its series with a fresh ["sim"] id,
     and a periodic driver (at {!Ccsim_obs.Timeline.interval}) samples

@@ -78,6 +78,10 @@ type t = {
   mutable t_dropped_b : float;
   mutable t_q_b : float;
   (* observability *)
+  profile : Obs.Profile.t option;
+      (* standalone [run] charges each ODE step to component "fluid";
+         when the engine is instead driven from a Sim (hybrid coupling),
+         the Sim's own profiler does the charging and this stays unused *)
   watchdog : Obs.Watchdog.t option;
   tl_arrival : Obs.Timeline.series option;
   tl_served : Obs.Timeline.series option;
@@ -149,6 +153,7 @@ let create ?(dt_s = default_dt_s) ?(method_ = `Euler) ?(warmup_s = 0.0)
       t_served_b = 0.0;
       t_dropped_b = 0.0;
       t_q_b = 0.0;
+      profile = scope.Obs.Scope.profile;
       watchdog = scope.Obs.Scope.watchdog;
       tl_arrival = series "fluid_arrival_bps";
       tl_served = series "fluid_served_bps";
@@ -509,7 +514,12 @@ let record_samples t =
 let run t ~until_s =
   seal t;
   while t.now_s < until_s -. (0.5 *. t.dt_s) do
-    step t;
+    (match t.profile with
+    | None -> step t
+    | Some p ->
+        let t0 = Obs.Profile.wall_now () in
+        step t;
+        Obs.Profile.record p ~comp:"fluid" ~seconds:(Obs.Profile.wall_now () -. t0));
     if t.now_s >= t.next_sample_s then begin
       record_samples t;
       t.next_sample_s <- t.now_s +. t.sample_interval_s
@@ -520,6 +530,11 @@ let run t ~until_s =
         t.next_check_s <- t.now_s +. Obs.Watchdog.interval w
     | Some _ | None -> ()
   done;
+  (match t.profile with
+  | Some p ->
+      Obs.Profile.note_sim_time p t.now_s;
+      Obs.Profile.gc_flush p
+  | None -> ());
   match t.watchdog with
   | Some w -> Obs.Watchdog.check_now w ~now:t.now_s
   | None -> ()

@@ -104,6 +104,11 @@ type t = {
   mutable busy_seconds : float;
   mutable bytes_delivered : int;
   obs : obs;
+  profile : Obs.Profile.t option;
+      (* ambient engine profile: simulated-packet hot-path counters
+         (enqueued/dequeued/delivered/tail-dropped) feed the
+         packets-per-wall-second metric; a single field store per
+         packet when profiling, a [match] on [None] otherwise *)
   wd : wd option;
   mutable imp : impairment option;
 }
@@ -162,6 +167,7 @@ let create sim ~rate_bps ~delay_s ?qdisc ~sink () =
       busy_seconds = 0.0;
       bytes_delivered = 0;
       obs;
+      profile = scope.Obs.Scope.profile;
       wd;
       imp = None;
     }
@@ -267,6 +273,9 @@ let rec transmit_next t =
     | None -> t.busy <- false
     | Some pkt ->
         t.busy <- true;
+        (match t.profile with
+        | Some p -> Obs.Profile.note_pkt_dequeued p
+        | None -> ());
         let effective_bps =
           Float.max (min_residual_frac *. t.rate_bps) (t.rate_bps -. t.cross_bps)
         in
@@ -291,6 +300,9 @@ let rec transmit_next t =
 (* The fault-free delivery site, also the tail of the impaired path. *)
 and deliver t (pkt : Packet.t) ~extra_delay ~duplicate =
   t.bytes_delivered <- t.bytes_delivered + pkt.size_bytes;
+  (match t.profile with
+  | Some p -> Obs.Profile.note_pkt_delivered p
+  | None -> ());
   (match t.wd with
   | Some wd ->
       wd.wd_delivered_pkts <- wd.wd_delivered_pkts + 1;
@@ -369,7 +381,13 @@ and deliver_impaired t imp (pkt : Packet.t) =
   end
 
 let send t pkt =
-  if t.qdisc.Qdisc.enqueue pkt && not t.busy then transmit_next t
+  match t.profile with
+  | None -> if t.qdisc.Qdisc.enqueue pkt && not t.busy then transmit_next t
+  | Some p ->
+      let accepted = t.qdisc.Qdisc.enqueue pkt in
+      if accepted then Obs.Profile.note_pkt_enqueued p
+      else Obs.Profile.note_pkt_dropped p;
+      if accepted && not t.busy then transmit_next t
 
 (* --- fault-injection hooks (Ccsim_faults) ------------------------------ *)
 

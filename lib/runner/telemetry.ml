@@ -13,6 +13,15 @@ let make ~pool_jobs ~total_wall_s results = { pool_jobs; total_wall_s; results }
    measures real elapsed time (bin, bench) must come through here. *)
 let now_s = Unix.gettimeofday
 
+(* Sanctioned date read for report stamping (same R2 rationale as
+   [now_s]): simulated results never depend on it, only artifacts. *)
+let date_utc () =
+  let tm = Unix.gmtime (now_s ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let host_cores () = Domain.recommended_domain_count ()
+
 let count p t = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 t.results
 let cache_hits = count (fun (r : Job.result) -> r.cache_hit)
 let failures = count (fun (r : Job.result) -> not r.ok)
@@ -25,6 +34,13 @@ let timeouts = count (fun (r : Job.result) -> r.timed_out)
    124 before any pool run. *)
 let exit_code t =
   if timeouts t > 0 then 124 else if failures t > 0 then 1 else 0
+
+(* More worker domains than host cores means the workers time-share: the
+   suite still completes, but wall-clock speedup is bounded by the cores,
+   so comparing it against the worker count is misleading. The flag is
+   surfaced in both the summary line and the JSON report so BENCH
+   numbers from small CI hosts read honestly. *)
+let oversubscribed t = t.pool_jobs > host_cores ()
 
 let summary t =
   let table =
@@ -55,9 +71,15 @@ let summary t =
         ])
     t.results;
   let busy = Array.fold_left (fun s (r : Job.result) -> s +. r.wall_s) 0.0 t.results in
+  let oversub =
+    if oversubscribed t then
+      Printf.sprintf " [oversubscribed: %d worker(s) on %d core(s)]" t.pool_jobs
+        (host_cores ())
+    else ""
+  in
   Printf.sprintf
-    "run telemetry: %d jobs on %d worker(s), %.3fs wall (%.3fs cumulative job time), %d cache hit(s), %d failure(s), %d degraded\n%s"
-    (Array.length t.results) t.pool_jobs t.total_wall_s busy (cache_hits t)
+    "run telemetry: %d jobs on %d worker(s)%s, %.3fs wall (%.3fs cumulative job time), %d cache hit(s), %d failure(s), %d degraded\n%s"
+    (Array.length t.results) t.pool_jobs oversub t.total_wall_s busy (cache_hits t)
     (failures t) (degraded t) (Table.render table)
 
 let json_escape s =
@@ -78,8 +100,9 @@ let json_escape s =
 let to_json ?(profiles = []) t =
   let buf = Buffer.create 2048 in
   Printf.bprintf buf
-    "{\n  \"schema\": \"ccsim-runner/1\",\n  \"pool_jobs\": %d,\n  \"total_wall_s\": %.6f,\n  \"cache_hits\": %d,\n  \"failures\": %d,\n  \"degraded\": %d,\n  \"jobs\": [\n"
-    t.pool_jobs t.total_wall_s (cache_hits t) (failures t) (degraded t);
+    "{\n  \"schema\": \"ccsim-runner/1\",\n  \"pool_jobs\": %d,\n  \"host_cores\": %d,\n  \"oversubscribed\": %b,\n  \"total_wall_s\": %.6f,\n  \"cache_hits\": %d,\n  \"failures\": %d,\n  \"degraded\": %d,\n  \"jobs\": [\n"
+    t.pool_jobs (host_cores ()) (oversubscribed t) t.total_wall_s (cache_hits t)
+    (failures t) (degraded t);
   Array.iteri
     (fun i (r : Job.result) ->
       let profile_field =

@@ -18,6 +18,20 @@ val now_s : unit -> float
     and [lib/obs] so simulated results can never depend on the host
     clock; elapsed-time measurement elsewhere must route through this. *)
 
+val date_utc : unit -> string
+(** Today's UTC date as ["YYYY-MM-DD"], via {!now_s}. For stamping
+    reports and BENCH artifacts only — never simulation inputs. *)
+
+val host_cores : unit -> int
+(** [Domain.recommended_domain_count ()]: how many worker domains the
+    host can actually run in parallel. *)
+
+val oversubscribed : t -> bool
+(** Whether the run used more worker domains than {!host_cores} — its
+    wall-clock speedup is then bounded by the cores, not the workers,
+    and comparing against [pool_jobs] would be misleading. Flagged in
+    {!summary} and {!to_json}. *)
+
 val cache_hits : t -> int
 val failures : t -> int
 
@@ -38,8 +52,9 @@ val summary : t -> string
 (** Rendered per-job table plus a totals line. *)
 
 val to_json : ?profiles:(string * string) list -> t -> string
-(** Machine-readable report: schema ["ccsim-runner/1"], pool size, total
-    wall-clock, aggregate counters, and one record per job. [profiles]
+(** Machine-readable report: schema ["ccsim-runner/1"], pool size, host
+    cores, the {!oversubscribed} flag, total wall-clock, aggregate
+    counters, and one record per job. [profiles]
     maps job names to pre-rendered JSON objects (engine-profiler output,
     see {!Ccsim_obs.Profile.to_json}); a matching job record gains a
     ["profile"] field. The strings are embedded verbatim and must be

@@ -6,3 +6,5 @@ let jitter () = Random.float 0.010
 let stamp () = Unix.gettimeofday ()
 
 let dump table = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) table
+
+let allocated () = (Gc.quick_stat ()).Gc.minor_words

@@ -180,6 +180,42 @@ let test_sim_determinism () =
   in
   Alcotest.(check (list (pair int (float 1e-12)))) "identical runs" (run ()) (run ())
 
+let test_sim_schedule_cancel_accounting () =
+  let p = Ccsim_obs.Profile.create () in
+  let sim = Sim.create ~profile:p () in
+  let id = Sim.schedule sim ~delay:1.0 (fun () -> ()) in
+  ignore (Sim.schedule sim ~delay:2.0 (fun () -> ()));
+  Sim.cancel sim id;
+  (* A second cancel of the same event must not count again. *)
+  Sim.cancel sim id;
+  Sim.run sim;
+  Alcotest.(check int) "scheduled" 2 (Ccsim_obs.Profile.events_scheduled p);
+  Alcotest.(check int) "cancelled once" 1 (Ccsim_obs.Profile.events_cancelled p);
+  Alcotest.(check int) "executed" 1 (Ccsim_obs.Profile.events_executed p);
+  (* Cancelling an already-fired event is a no-op, not a cancellation. *)
+  let fired = Sim.schedule sim ~delay:0.5 (fun () -> ()) in
+  Sim.run sim;
+  Sim.cancel sim fired;
+  Alcotest.(check int) "fired event not counted" 1
+    (Ccsim_obs.Profile.events_cancelled p)
+
+let test_sim_heap_depth_histogram () =
+  let m = Ccsim_obs.Metrics.create () in
+  Ccsim_obs.Scope.with_scope
+    (Ccsim_obs.Scope.v ~metrics:m ())
+    (fun () ->
+      let sim = Sim.create () in
+      for i = 1 to 10 do
+        ignore (Sim.schedule sim ~delay:(float_of_int i) (fun () -> ()))
+      done;
+      Sim.run sim);
+  match Ccsim_obs.Metrics.find_histogram m "engine_heap_depth" with
+  | Some h ->
+      (* The first executed event observes all 10 pending events. *)
+      Alcotest.(check bool) "max depth seen" true
+        (Ccsim_obs.Metrics.quantile h 1.0 >= 10.0)
+  | None -> Alcotest.fail "engine_heap_depth not registered"
+
 let suite =
   [
     ("heap: ordering", `Quick, test_heap_ordering);
@@ -199,4 +235,6 @@ let suite =
     ("sim: every with start", `Quick, test_sim_every_with_start);
     ("sim: after_n", `Quick, test_sim_after_n);
     ("sim: deterministic", `Quick, test_sim_determinism);
+    ("sim: schedule/cancel accounting", `Quick, test_sim_schedule_cancel_accounting);
+    ("sim: heap-depth histogram from ambient metrics", `Quick, test_sim_heap_depth_histogram);
   ]

@@ -41,7 +41,7 @@ let test_r1 =
 
 let test_r2 =
   check_fixture ~name:"bad_r2_nondeterminism.ml"
-    ~expected:[ ("R2", 4, 16); ("R2", 6, 15); ("R2", 8, 17) ]
+    ~expected:[ ("R2", 4, 16); ("R2", 6, 15); ("R2", 8, 17); ("R2", 10, 20) ]
 
 let test_r3 =
   check_fixture ~name:"bad_r3_float_eq.ml" ~expected:[ ("R3", 4, 32); ("R3", 6, 37) ]

@@ -16,6 +16,8 @@ let contains ~sub s =
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   m = 0 || go 0
 
+let check_float0 = Alcotest.(check (float 0.0))
+
 (* --- metrics registry ---------------------------------------------------- *)
 
 let test_counter_basics () =
@@ -253,6 +255,137 @@ let test_profiler_attribution () =
   Alcotest.(check bool) "json events" true
     (contains ~sub:"\"events_executed\": 3" json)
 
+(* Rate accessors must be total: a fresh (or packet-free) profile
+   reports 0, never a division by zero. *)
+let test_profiler_zero_division_guards () =
+  let p = Profile.create () in
+  check_float0 "events_per_sec" 0.0 (Profile.events_per_sec p);
+  check_float0 "sim_speedup" 0.0 (Profile.sim_speedup p);
+  check_float0 "packets_per_sec" 0.0 (Profile.packets_per_sec p);
+  check_float0 "minor_words_per_event" 0.0 (Profile.minor_words_per_event p);
+  check_float0 "minor_words_per_packet" 0.0 (Profile.minor_words_per_packet p);
+  (* Events with zero recorded seconds still divide safely. *)
+  Profile.record p ~comp:"x" ~seconds:0.0;
+  Profile.note_sim_time p 5.0;
+  check_float0 "events_per_sec, zero busy" 0.0 (Profile.events_per_sec p);
+  check_float0 "sim_speedup, zero busy" 0.0 (Profile.sim_speedup p)
+
+let test_profiler_heap_depth_monotone () =
+  let p = Profile.create () in
+  Profile.note_heap_depth p 7;
+  Profile.note_heap_depth p 3;
+  Alcotest.(check int) "peak kept" 7 (Profile.max_heap_depth p);
+  Profile.note_heap_depth p 11;
+  Alcotest.(check int) "peak raised" 11 (Profile.max_heap_depth p)
+
+let test_profiler_scheduled_cancelled () =
+  let p = Profile.create () in
+  Profile.note_scheduled p ~comp:"tcp";
+  Profile.note_scheduled p ~comp:"tcp";
+  Profile.note_scheduled p ~comp:"link";
+  Profile.note_cancelled p ~comp:"tcp";
+  Alcotest.(check int) "scheduled" 3 (Profile.events_scheduled p);
+  Alcotest.(check int) "cancelled" 1 (Profile.events_cancelled p);
+  let tcp = List.assoc "tcp" (Profile.component_stats p) in
+  Alcotest.(check int) "tcp scheduled" 2 tcp.Profile.scheduled;
+  Alcotest.(check int) "tcp cancelled" 1 tcp.Profile.cancelled
+
+let test_profiler_packet_counters () =
+  let p = Profile.create () in
+  Profile.note_pkt_enqueued p;
+  Profile.note_pkt_enqueued p;
+  Profile.note_pkt_dequeued p;
+  Profile.note_pkt_delivered p;
+  Profile.note_pkt_dropped p;
+  Alcotest.(check int) "enqueued" 2 (Profile.packets_enqueued p);
+  Alcotest.(check int) "dequeued" 1 (Profile.packets_dequeued p);
+  Alcotest.(check int) "delivered" 1 (Profile.packets_delivered p);
+  Alcotest.(check int) "dropped" 1 (Profile.packets_dropped p);
+  Profile.record p ~comp:"link" ~seconds:0.5;
+  check_float0 "packets_per_sec" 2.0 (Profile.packets_per_sec p)
+
+(* The sampling countdown takes a Gc delta every [gc_sample_every]
+   charges; gc_flush closes the tail window so the totals cover every
+   event. Allocation numbers are host-dependent, so only structure is
+   asserted (window accounting, non-negative totals). *)
+let test_profiler_gc_sampling () =
+  let p = Profile.create () in
+  let n = (3 * Profile.gc_sample_every) + 5 in
+  for _ = 1 to n do
+    (* Allocate a little so the windows have something to see. *)
+    ignore (Sys.opaque_identity (Array.make 64 0.0));
+    Profile.record p ~comp:"alloc" ~seconds:0.0
+  done;
+  Alcotest.(check int) "windows sampled" 3 (Profile.gc_samples p);
+  Profile.gc_flush p;
+  Alcotest.(check int) "flush closes the tail" 4 (Profile.gc_samples p);
+  Profile.gc_flush p;
+  Alcotest.(check int) "flush idempotent" 4 (Profile.gc_samples p);
+  Alcotest.(check bool) "minor words seen" true (Profile.minor_words p > 0.0);
+  Alcotest.(check bool) "per-event rate positive" true
+    (Profile.minor_words_per_event p > 0.0);
+  let alloc = List.assoc "alloc" (Profile.component_stats p) in
+  Alcotest.(check bool) "attributed to the charging component" true
+    (alloc.Profile.minor_words > 0.0)
+
+(* Field order in the profile JSON is pinned: BENCH_engine.json and the
+   runner-report consumers key on it (mirror of the histogram NDJSON
+   shape test). *)
+let test_profile_json_shape () =
+  let p = Profile.create () in
+  Profile.record p ~comp:"tcp" ~seconds:0.001;
+  Profile.note_pkt_delivered p;
+  Profile.gc_flush p;
+  let json = Profile.to_json p in
+  let order =
+    [
+      "\"events_executed\":";
+      "\"events_scheduled\":";
+      "\"events_cancelled\":";
+      "\"busy_s\":";
+      "\"events_per_sec\":";
+      "\"sim_s\":";
+      "\"sim_speedup\":";
+      "\"max_heap_depth\":";
+      "\"pkts_enqueued\":";
+      "\"pkts_dequeued\":";
+      "\"pkts_delivered\":";
+      "\"pkts_dropped\":";
+      "\"pkts_per_sec\":";
+      "\"gc\": {";
+      "\"samples\":";
+      "\"minor_words\":";
+      "\"promoted_words\":";
+      "\"major_words\":";
+      "\"compactions\":";
+      "\"minor_words_per_event\":";
+      "\"minor_words_per_packet\":";
+      "\"components\": [";
+      "\"component\": \"tcp\"";
+      "\"events\":";
+      "\"seconds\":";
+      "\"scheduled\":";
+      "\"cancelled\":";
+    ]
+  in
+  let idx_in sub =
+    let n = String.length sub in
+    let rec go i =
+      if i + n > String.length json then Alcotest.failf "missing %s in %s" sub json
+      else if String.sub json i n = sub then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let positions = List.map idx_in order in
+  let rec ascending = function
+    | a :: (b :: _ as rest) ->
+        if a >= b then Alcotest.fail "profile json fields out of order";
+        ascending rest
+    | _ -> ()
+  in
+  ascending positions
+
 let test_profiler_from_ambient_scope () =
   let p = Profile.create () in
   Scope.with_scope
@@ -303,7 +436,23 @@ let test_instrumented_scenario () =
   Alcotest.(check bool) "heap depth seen" true (Profile.max_heap_depth p > 0);
   let comps = List.map (fun (c, _, _) -> c) (Profile.components p) in
   Alcotest.(check bool) "tcp attributed" true (List.mem "tcp" comps);
-  Alcotest.(check bool) "link attributed" true (List.mem "link" comps)
+  Alcotest.(check bool) "link attributed" true (List.mem "link" comps);
+  (* Packet hot-path counters: a congested run delivers and drops. *)
+  Alcotest.(check bool) "pkts delivered" true (Profile.packets_delivered p > 0);
+  Alcotest.(check bool) "pkts dropped" true (Profile.packets_dropped p > 0);
+  Alcotest.(check bool) "enqueued >= delivered" true
+    (Profile.packets_enqueued p >= Profile.packets_delivered p);
+  Alcotest.(check bool) "pkts/s positive" true (Profile.packets_per_sec p > 0.0);
+  (* Scheduled events at least cover the executed ones. *)
+  Alcotest.(check bool) "scheduled >= executed" true
+    (Profile.events_scheduled p >= Profile.events_executed p);
+  (* Allocation sampling closed its windows during Sim.run. *)
+  Alcotest.(check bool) "gc windows sampled" true (Profile.gc_samples p > 0);
+  Alcotest.(check bool) "minor words/event" true (Profile.minor_words_per_event p > 0.0);
+  (* Heap-depth histogram: shared instrument in the ambient registry. *)
+  (match Metrics.find_histogram m "engine_heap_depth" with
+  | Some h -> Alcotest.(check bool) "heap histogram populated" true (Metrics.quantile h 0.99 > 0.0)
+  | None -> Alcotest.fail "engine_heap_depth not registered")
 
 let test_instrumentation_does_not_change_results () =
   let plain = Scenario.run (congested_scenario 7) in
@@ -361,6 +510,15 @@ let suite =
     Alcotest.test_case "recorder: ndjson and csv" `Quick test_recorder_exports;
     Alcotest.test_case "scope: ambient set and restored" `Quick test_scope_ambient_restored;
     Alcotest.test_case "profiler: per-component attribution" `Quick test_profiler_attribution;
+    Alcotest.test_case "profiler: rate accessors guard zero division" `Quick
+      test_profiler_zero_division_guards;
+    Alcotest.test_case "profiler: heap depth is a monotone peak" `Quick
+      test_profiler_heap_depth_monotone;
+    Alcotest.test_case "profiler: scheduled/cancelled per component" `Quick
+      test_profiler_scheduled_cancelled;
+    Alcotest.test_case "profiler: packet counters" `Quick test_profiler_packet_counters;
+    Alcotest.test_case "profiler: gc sampling windows" `Quick test_profiler_gc_sampling;
+    Alcotest.test_case "profiler: json field order pinned" `Quick test_profile_json_shape;
     Alcotest.test_case "profiler: picked up from ambient scope" `Quick
       test_profiler_from_ambient_scope;
     Alcotest.test_case "e2e: instrumented scenario populates all three" `Slow

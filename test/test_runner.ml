@@ -217,6 +217,32 @@ let test_telemetry_exit_codes () =
   Alcotest.(check bool) "hard timeout is not degraded" false results.(0).degraded;
   Alcotest.(check int) "timeout -> 124" 124 (R.Telemetry.exit_code tele)
 
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* More workers than host cores: the speedup claim in BENCH/telemetry
+   output would otherwise mislead, so the report must say so. *)
+let test_telemetry_oversubscription () =
+  let ok = R.Job.make ~name:"a" ~digest:"aa" (fun () -> "fine\n") in
+  let results = R.Pool.run (R.Pool.config ~jobs:1 ()) [ ok ] in
+  let cores = R.Telemetry.host_cores () in
+  Alcotest.(check bool) "cores positive" true (cores > 0);
+  let over = R.Telemetry.make ~pool_jobs:(cores + 1) ~total_wall_s:0.1 results in
+  Alcotest.(check bool) "flagged" true (R.Telemetry.oversubscribed over);
+  Alcotest.(check bool) "summary annotated" true
+    (contains ~sub:"[oversubscribed:" (R.Telemetry.summary over));
+  Alcotest.(check bool) "json flagged" true
+    (contains ~sub:"\"oversubscribed\": true" (R.Telemetry.to_json over));
+  let fits = R.Telemetry.make ~pool_jobs:1 ~total_wall_s:0.1 results in
+  Alcotest.(check bool) "one worker never oversubscribes" false
+    (R.Telemetry.oversubscribed fits);
+  Alcotest.(check bool) "summary clean" false
+    (contains ~sub:"[oversubscribed:" (R.Telemetry.summary fits));
+  Alcotest.(check bool) "json carries host_cores" true
+    (contains ~sub:"\"host_cores\":" (R.Telemetry.to_json fits))
+
 let test_registry_complete () =
   Alcotest.(check int) "twenty experiments" 20 (List.length E.all);
   Alcotest.(check bool) "find p1" true (E.find "p1" <> None);
@@ -246,5 +272,6 @@ let suite =
     ("pool: deadline salvages partial output as degraded", `Quick, test_deadline_salvages_partial);
     ("pool: degraded results are never cached", `Quick, test_degraded_not_cached);
     ("telemetry: exit codes 0/1/124", `Quick, test_telemetry_exit_codes);
+    ("telemetry: oversubscription flagged", `Quick, test_telemetry_oversubscription);
     ("registry: DESIGN.md index is complete", `Quick, test_registry_complete);
   ]

@@ -12,7 +12,8 @@
        carry an explicit (* lint: domain-local *) annotation or a
        lint.allow entry -- the domain-pool race detector.
    R2  nondeterminism sources in sim code: Random.*, wall-clock reads
-       (Unix.gettimeofday / Unix.time / Sys.time / ...) outside
+       (Unix.gettimeofday / Unix.time / Sys.time / ...) and host-GC
+       reads (Gc.stat / quick_stat / counters / ...) outside
        lib/runner and lib/obs, and order-dependent Hashtbl.iter/fold.
    R3  structural float equality (= / <> applied to float-looking
        operands), which silently breaks change-point and elasticity
@@ -197,6 +198,18 @@ let wall_clock_ident lid =
   | [ "Sys"; "time" ] -> Some "Sys.time"
   | _ -> None
 
+(* Host-GC state reads (R2, same exemption as the wall clock): the
+   counters depend on allocator behaviour, heap state and compaction
+   history, so any simulated quantity derived from one is
+   host-dependent. Ccsim_obs.Profile.gc_sample is the sanctioned choke
+   point (lib/obs is exempt). *)
+let gc_read_ident lid =
+  match Longident.flatten lid with
+  | [ "Gc"; (("stat" | "quick_stat" | "counters" | "minor_words" | "allocated_bytes") as fn) ]
+    ->
+      Some ("Gc." ^ fn)
+  | _ -> None
+
 let float_suffixes =
   [ "_s"; "_ms"; "_us"; "_bps"; "_kbps"; "_mbps"; "_gbps"; "_hz"; "_frac"; "_pct"; "_ratio"; "_eps" ]
 
@@ -276,6 +289,14 @@ let check_expr ctx e =
             (Printf.sprintf
                "nondeterminism: wall-clock read %s outside lib/runner telemetry and lib/obs \
                 profiling; route through Ccsim_runner.Telemetry.now_s or Ccsim_obs.Profile.wall_now"
+               name)
+      | Some _ | None -> ());
+      (match gc_read_ident txt with
+      | Some name when not ctx.wall_clock_exempt ->
+          emit ctx loc "R2"
+            (Printf.sprintf
+               "nondeterminism: host-GC read %s outside lib/runner and lib/obs; route \
+                allocation measurement through Ccsim_obs.Profile.gc_sample"
                name)
       | Some _ | None -> ());
       match Longident.flatten txt with
