@@ -172,26 +172,72 @@ let check_policy_arg =
   in
   Arg.(value & opt (some policy_conv) None & info [ "check-policy" ] ~docv:"POLICY" ~doc)
 
+(* Reject non-positive values at parse time: Recorder.create /
+   Span.create would raise the same complaint as an uncaught
+   Invalid_argument. *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg "value must be positive")
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let flight_cap_arg =
   let doc =
     "Flight recorder capacity: keep the most recent $(docv) events per job. Must be \
      positive."
   in
-  (* Reject non-positive values at parse time: Recorder.create would
-     raise the same complaint as an uncaught Invalid_argument. *)
-  let positive_int =
-    let parse s =
-      match int_of_string_opt s with
-      | Some n when n > 0 -> Ok n
-      | Some _ -> Error (`Msg "capacity must be positive")
-      | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
-    in
-    Arg.conv (parse, Format.pp_print_int)
-  in
   Arg.(
     value
     & opt positive_int Obs.Recorder.default_capacity
     & info [ "flight-rec-cap" ] ~docv:"N" ~doc)
+
+let flight_level_arg =
+  let doc =
+    "Flight recorder severity floor: $(b,debug) (keep everything, the default), \
+     $(b,info), $(b,warn) or $(b,error). Events below the floor are discarded at record \
+     time without counting against the capacity."
+  in
+  let level_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "debug" -> Ok Obs.Recorder.Debug
+      | "info" -> Ok Obs.Recorder.Info
+      | "warn" -> Ok Obs.Recorder.Warn
+      | "error" -> Ok Obs.Recorder.Error
+      | _ ->
+          Error (`Msg (Printf.sprintf "expected debug, info, warn or error, got %S" s))
+    in
+    Arg.conv
+      (parse, fun ppf l -> Format.pp_print_string ppf (Obs.Recorder.severity_to_string l))
+  in
+  Arg.(
+    value
+    & opt level_conv Obs.Recorder.Debug
+    & info [ "flight-rec-level" ] ~docv:"LEVEL" ~doc)
+
+let spans_arg =
+  let doc =
+    "Record sampled packet lifecycle spans: for a deterministic 1-in-N sample of packets \
+     (see --span-sample), the enqueue → dequeue → serialization → delivery/drop \
+     timestamps at every hop, decomposing hop delay into queueing, serialization and \
+     propagation. Spans export as per-hop duration tracks in --chrome-trace and journal \
+     as class-$(b,span) events in --flight-rec; a per-job summary goes to stderr."
+  in
+  Arg.(value & flag & info [ "spans" ] ~doc)
+
+let default_span_sample = 64
+
+let span_sample_arg =
+  let doc =
+    "Span sampling rate: record one packet in $(docv), selected by packet uid (no RNG is \
+     consumed, so sampling never perturbs results). 1 records every packet. Implies \
+     --spans."
+  in
+  Arg.(
+    value & opt (some positive_int) None & info [ "span-sample" ] ~docv:"N" ~doc)
 
 type obs_cfg = {
   metrics_path : string option;
@@ -203,11 +249,14 @@ type obs_cfg = {
   check : bool;
   check_policy : Obs.Watchdog.policy option;
   flight_cap : int;
+  flight_level : Obs.Recorder.severity;
+  spans : bool;
+  span_sample : int;
 }
 
 let obs_cfg_term =
   let make metrics_path flight_path profile series_path series_interval chrome_path check
-      check_policy flight_cap =
+      check_policy flight_cap flight_level spans span_sample =
     {
       metrics_path;
       flight_path;
@@ -218,15 +267,19 @@ let obs_cfg_term =
       check = check || check_policy <> None;
       check_policy;
       flight_cap;
+      flight_level;
+      spans = spans || span_sample <> None;
+      span_sample = Option.value span_sample ~default:default_span_sample;
     }
   in
   Term.(
     const make $ metrics_arg $ flight_arg $ profile_arg $ series_arg $ series_interval_arg
-    $ chrome_arg $ check_arg $ check_policy_arg $ flight_cap_arg)
+    $ chrome_arg $ check_arg $ check_policy_arg $ flight_cap_arg $ flight_level_arg
+    $ spans_arg $ span_sample_arg)
 
 let obs_enabled c =
   c.metrics_path <> None || c.flight_path <> None || c.profile || c.series_path <> None
-  || c.chrome_path <> None || c.check
+  || c.chrome_path <> None || c.check || c.spans
 
 (* Per-job instrument handles, harvested after the pool drains. Each job
    gets its own registry/recorder/profile (registries are not
@@ -238,6 +291,7 @@ type obs_handle = {
   j_profile : Obs.Profile.t option;
   j_timeline : Obs.Timeline.t option;
   j_watchdog : Obs.Watchdog.t option;
+  j_span : Obs.Span.t option;
 }
 
 let wrap_thunk cfg ~name thunk =
@@ -246,7 +300,7 @@ let wrap_thunk cfg ~name thunk =
     let metrics = if cfg.metrics_path <> None then Some (Obs.Metrics.create ()) else None in
     let recorder =
       if cfg.flight_path <> None || cfg.chrome_path <> None then
-        Some (Obs.Recorder.create ~capacity:cfg.flight_cap ())
+        Some (Obs.Recorder.create ~capacity:cfg.flight_cap ~level:cfg.flight_level ())
       else None
     in
     let profile = if cfg.profile then Some (Obs.Profile.create ()) else None in
@@ -258,10 +312,14 @@ let wrap_thunk cfg ~name thunk =
     let watchdog =
       if cfg.check then Some (Obs.Watchdog.create ?policy:cfg.check_policy ()) else None
     in
+    let span =
+      if cfg.spans then Some (Obs.Span.create ?recorder ~sample:cfg.span_sample ())
+      else None
+    in
     (match (watchdog, timeline) with
     | Some w, Some tl -> Obs.Watchdog.watch_timeline w tl
     | _ -> ());
-    let scope = Obs.Scope.v ?metrics ?recorder ?profile ?timeline ?watchdog () in
+    let scope = Obs.Scope.v ?metrics ?recorder ?profile ?timeline ?watchdog ?span () in
     let thunk () = Obs.Scope.with_scope scope thunk in
     ( thunk,
       Some
@@ -272,6 +330,7 @@ let wrap_thunk cfg ~name thunk =
           j_profile = profile;
           j_timeline = timeline;
           j_watchdog = watchdog;
+          j_span = span;
         } )
   end
 
@@ -335,10 +394,20 @@ let export_obs cfg handles =
   (match cfg.chrome_path with
   | Some path ->
       let jobs =
-        List.map (fun h -> (h.job_name, h.j_timeline, h.j_recorder)) handles
+        List.map (fun h -> (h.job_name, h.j_timeline, h.j_recorder, h.j_span)) handles
       in
       write_file path (Obs.Chrome_trace.to_string jobs)
   | None -> ());
+  (if cfg.spans then
+     List.iter
+       (fun h ->
+         match h.j_span with
+         | Some sp ->
+             Printf.eprintf "spans %s: sample 1/%d, started %d, completed %d, evicted %d\n%!"
+               h.job_name (Obs.Span.sample sp) (Obs.Span.started sp)
+               (Obs.Span.completed_count sp) (Obs.Span.evicted sp)
+         | None -> ())
+       handles);
   (if cfg.check then
      (* Under warn/quarantine the run survives past the first violation,
         so report every one the watchdog collected, not just the first. *)
@@ -494,16 +563,18 @@ let list_cmd =
           | E.Timed d -> Printf.sprintf "duration %gs" d
           | E.Sized n -> Printf.sprintf "population %d" n
         in
-        let default =
-          match e.backends with
-          | [] | [ _ ] -> default
-          | bs -> default ^ ", " ^ String.concat "|" bs
-        in
-        Printf.printf "%-6s %-14s %s\n" e.id ("[" ^ default ^ "]") e.title)
+        Printf.printf "%-6s %-18s %-13s %-7s %s\n" e.id
+          ("[" ^ default ^ "]")
+          (String.concat "|" e.backends)
+          (if e.supports_faults then "faults" else "-")
+          e.title)
       E.all
   in
   Cmd.v
-    (Cmd.info "list" ~doc:"List every experiment with its description and default parameters")
+    (Cmd.info "list"
+       ~doc:
+         "List every experiment with its default parameters, supported backends, \
+          fault-plan support (--faults), and description")
     Term.(const run $ const ())
 
 let sweep_cmd =
@@ -726,32 +797,48 @@ let perf_cmd =
     Arg.(value & flag & info [ "quick" ] ~doc)
   in
   let out_arg =
-    let doc = "Write the engine benchmark report (schema ccsim-engine/1) to $(docv)." in
+    let doc = "Write the engine benchmark report (schema ccsim-engine/2) to $(docv)." in
     Arg.(value & opt string "BENCH_engine.json" & info [ "out" ] ~docv:"FILE" ~doc)
   in
-  let run quick out seed =
+  let iters_arg =
+    let doc =
+      "Run each matrix row $(docv) times and report the median iteration (by wall time). \
+       Wall-clock metrics (events/s, pkts/wall-s) on a shared host are noisy; the median \
+       row is what baseline comparisons should trend."
+    in
+    Arg.(value & opt positive_int 1 & info [ "iters" ] ~docv:"N" ~doc)
+  in
+  let run quick out seed iters =
     let rows = perf_matrix ~quick in
     let results =
       List.map
         (fun row ->
-          let ((p, wall_s, _) as res) = perf_run_row ~seed row in
-          Printf.printf "%-20s %8.2fs wall  %9.0f events/s  %9.0f pkts/s  %7.1fx sim\n%!"
+          let runs = List.init iters (fun _ -> perf_run_row ~seed row) in
+          (* Median by wall time: deterministic work per iteration, so
+             wall_s is the only axis the scheduler can perturb. *)
+          let sorted =
+            List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) runs
+          in
+          let ((p, wall_s, _) as res) = List.nth sorted ((iters - 1) / 2) in
+          Printf.printf "%-20s %8.2fs wall  %9.0f events/s  %9.0f pkts/s  %7.1fx sim%s\n%!"
             row.row_name wall_s
             (Obs.Profile.events_per_sec p)
             (if wall_s > 0.0 then
                float_of_int (Obs.Profile.packets_delivered p) /. wall_s
              else 0.0)
-            (Obs.Profile.sim_speedup p);
+            (Obs.Profile.sim_speedup p)
+            (if iters > 1 then Printf.sprintf "  (median of %d)" iters else "");
           (row, res))
         rows
     in
     let buf = Buffer.create 4096 in
     Printf.bprintf buf
-      "{\n  \"schema\": \"ccsim-engine/1\",\n  \"mode\": \"%s\",\n  \"seed\": %d,\n  \
+      "{\n  \"schema\": \"ccsim-engine/2\",\n  \"mode\": \"%s\",\n  \"seed\": %d,\n  \
+       \"iters\": %d,\n  \
        \"host\": {\"date\": \"%s\", \"ocaml\": \"%s\", \"word_size\": %d, \"cores\": %d},\n  \
        \"rows\": [\n"
       (if quick then "quick" else "full")
-      seed (R.Telemetry.date_utc ()) Sys.ocaml_version Sys.word_size
+      seed iters (R.Telemetry.date_utc ()) Sys.ocaml_version Sys.word_size
       (R.Telemetry.host_cores ());
     List.iteri
       (fun i (row, res) ->
@@ -770,7 +857,7 @@ let perf_cmd =
           fluid, hybrid) run under the profiler, reporting events/s, simulated packets per \
           wall-second, allocation per event/packet and heap-depth quantiles to \
           BENCH_engine.json")
-    Term.(const run $ quick_arg $ out_arg $ seed_arg)
+    Term.(const run $ quick_arg $ out_arg $ seed_arg $ iters_arg)
 
 let analyze_cmd =
   let file_arg =
@@ -818,11 +905,54 @@ let analyze_cmd =
     Term.(
       const run $ file_arg $ warmup_arg $ until_arg $ threshold_arg $ shift_threshold_arg)
 
+let explain_cmd =
+  let file_arg =
+    let doc = "NDJSON series file produced by a run with --series." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SERIES_FILE" ~doc)
+  in
+  let warmup_arg =
+    let doc =
+      "Drop samples before this time (seconds) from the analysis window (use the \
+       scenario's warmup; fig3 uses 10)."
+    in
+    Arg.(value & opt float 0.0 & info [ "warmup" ] ~docv:"SECONDS" ~doc)
+  in
+  let until_arg =
+    let doc = "Drop samples after this time (seconds) from the analysis window." in
+    Arg.(value & opt (some float) None & info [ "until" ] ~docv:"SECONDS" ~doc)
+  in
+  let threshold_arg =
+    let doc = "Elasticity p90 classification threshold (fig3's rule uses 0.5)." in
+    Arg.(value & opt float 0.5 & info [ "threshold" ] ~docv:"X" ~doc)
+  in
+  let run file warmup until threshold =
+    match Ccsim_measure.Offline.load file with
+    | exception Sys_error msg ->
+        Printf.eprintf "ccsim explain: %s\n" msg;
+        exit 2
+    | exception Ccsim_measure.Offline.Parse_error msg ->
+        Printf.eprintf "ccsim explain: %s: %s\n" file msg;
+        exit 2
+    | series ->
+        print_string
+          (Ccsim_measure.Offline.render_explain ~warmup ?hi:until ~threshold series);
+        exit 0
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Diagnose each flow's contention from a --series recording: dominant send limit \
+          (app/rwnd/cwnd/pacing/recovery), queueing-delay share of RTT, bottleneck \
+          occupancy and drop shares, contended time, and the scenario's cross-traffic \
+          elasticity verdict (same rule as the online Nimbus detector)")
+    Term.(const run $ file_arg $ warmup_arg $ until_arg $ threshold_arg)
+
 let main =
   let doc = "reproduce 'How I Learned to Stop Worrying About CCA Contention' (HotNets '23)" in
   Cmd.group
     (Cmd.info "ccsim" ~version:"1.0.0" ~doc)
-    (List.map exp_cmd E.all @ [ all_cmd; sweep_cmd; analyze_cmd; perf_cmd; list_cmd ])
+    (List.map exp_cmd E.all
+    @ [ all_cmd; sweep_cmd; analyze_cmd; explain_cmd; perf_cmd; list_cmd ])
 
 (* Unified exit codes (README): 0 ok, 1 verdict/job failure, 2 usage
    error, 124 timeout or unsupported backend. Cmdliner's defaults remap

@@ -7,15 +7,21 @@ type t = {
   title : string;
   kind : kind;
   backends : string list;
+  supports_faults : bool;
   render : ?backend:string -> ?duration:float -> ?n:int -> seed:int -> unit -> string;
 }
 
+(* Timed experiments all run through Scenario.run, which consults the
+   ambient fault-plan arming; the sized ones (fig2's synthetic M-Lab
+   population, the a2 detector ablation, p1's fluid/hybrid population)
+   never build a packet topology a plan could act on. *)
 let timed id title default render =
   {
     id;
     title;
     kind = Timed default;
     backends = [ "packet" ];
+    supports_faults = true;
     render = (fun ?backend:_ ?duration ?n ~seed () -> render ?duration ?n ~seed ());
   }
 
@@ -25,13 +31,14 @@ let sized id title default render =
     title;
     kind = Sized default;
     backends = [ "packet" ];
+    supports_faults = false;
     render = (fun ?backend:_ ?duration ?n ~seed () -> render ?duration ?n ~seed ());
   }
 
 (* Experiments that run on more than one backend list them explicitly
    (first = default) and receive the validated [backend] string. *)
 let sized_multi id title default backends render =
-  { id; title; kind = Sized default; backends; render }
+  { id; title; kind = Sized default; backends; supports_faults = false; render }
 
 let all =
   [

@@ -20,6 +20,10 @@ type t = {
           for the classic DES experiments; population experiments list
           ["fluid"]/["hybrid"]. The CLI validates [--backend] against
           this list. *)
+  supports_faults : bool;
+      (** Whether a [--faults] plan can act on this experiment: true for
+          the Scenario-backed (timed) experiments, false for the
+          synthetic-population ones (fig2, a2, p1). *)
   render : ?backend:string -> ?duration:float -> ?n:int -> seed:int -> unit -> string;
       (** Run the experiment and render its report. [Timed] experiments
           read [duration] and ignore [n]; [Sized] ones the reverse.

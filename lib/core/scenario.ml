@@ -274,6 +274,18 @@ let run t =
         live
   in
   let lives = List.mapi setup_flow t.flows in
+  (* Per-flow bottleneck attribution: occupancy (serialization seconds)
+     and drop shares, labeled like the Flow_monitor series so `ccsim
+     explain` groups them per flow. No-ops without a timeline in scope. *)
+  List.iter
+    (fun live ->
+      let labels = [ ("flow", live.spec.label) ] in
+      let flow = live.flow_id in
+      Sim.add_timeline_probe sim ~labels "flow_bneck_busy_s" (fun () ->
+          Net.Link.flow_busy_seconds topo.bottleneck ~flow);
+      Sim.add_timeline_probe sim ~labels "flow_bneck_drops" (fun () ->
+          float_of_int (Net.Link.flow_drops topo.bottleneck ~flow)))
+    lives;
   (* --- background short flows (ids from 1000) --- *)
   let short =
     match t.short_flows with
@@ -308,6 +320,21 @@ let run t =
              live.offered_at_window_start <- offered)))
     lives;
   Sim.run ~until:t.duration sim;
+  (* Final per-flow attribution gauges for the metrics export (the
+     timeline probes above carry the trajectories). *)
+  (match (Ccsim_obs.Scope.ambient ()).Ccsim_obs.Scope.metrics with
+  | Some m ->
+      List.iter
+        (fun live ->
+          let labels = [ ("flow", live.spec.label) ] in
+          Ccsim_obs.Metrics.set
+            (Ccsim_obs.Metrics.gauge m ~labels "link_flow_busy_seconds")
+            (Net.Link.flow_busy_seconds topo.bottleneck ~flow:live.flow_id);
+          Ccsim_obs.Metrics.set
+            (Ccsim_obs.Metrics.gauge m ~labels "qdisc_flow_dropped_total")
+            (float_of_int (Net.Link.flow_drops topo.bottleneck ~flow:live.flow_id)))
+        lives
+  | None -> ());
   (* --- collect results --- *)
   let window_of live =
     let start = Float.max t.warmup live.spec.start in

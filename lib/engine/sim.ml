@@ -15,6 +15,9 @@ type t = {
          registry is ambient; aggregates across sims by instrument name *)
   timeline : Obs.Timeline.t option;
   watchdog : Obs.Watchdog.t option;
+  span : Obs.Span.t option;
+      (* ambient lifecycle-span store; [run] seals it so packets still
+         in flight at the end of the run export as incomplete spans *)
   mutable tl_tags : (string * string) list;
       (* labels appended to every series this sim registers, e.g.
          [("sim", "2"); ("scenario", "fig3/bbr bulk")] *)
@@ -94,6 +97,7 @@ let create ?profile ?timeline ?watchdog () =
       component = "other";
       timeline;
       watchdog;
+      span = scope.Obs.Scope.span;
       tl_tags;
       probes = [];
       driver_pending = 0;
@@ -216,6 +220,11 @@ let run ?until t =
       (* Close the allocation-sampling window so the Gc totals cover
          the whole run, not just the last full window. *)
       Ccsim_obs.Profile.gc_flush p
+  | None -> ());
+  (* Packets still queued or on the wire when the run ends become
+     incomplete spans rather than leaking open records. *)
+  (match t.span with
+  | Some s -> Obs.Span.seal s ~now:t.clock
   | None -> ());
   (* A final sweep so violations between the last periodic check and the
      end of the run still fail it. *)

@@ -336,6 +336,261 @@ let elasticity_of ?(warmup = 0.0) ?(hi = infinity) ?(threshold = 0.5) s =
 let ndt_series_name = "ndt_throughput_mbps"
 let elasticity_series_name = "nimbus_elasticity"
 
+(* --- flow-level contention diagnosis (`ccsim explain`) ------------------ *)
+
+type explain_row = {
+  ex_job : string option;
+  ex_scenario : string;
+  ex_flow : string;
+  ex_goodput_bps : float;
+  ex_limits : (string * float) list;
+  ex_dominant : string;
+  ex_dominant_s : float;
+  ex_queue_delay_share : float;
+  ex_occupancy_share : float;
+  ex_drop_share : float;
+  ex_contended_s : float;
+  ex_verdict : string option;
+}
+
+let limit_order = [ "app"; "rwnd"; "cwnd"; "pacing"; "recovery" ]
+
+(* Last sample at or before [hi]; attribution series are cumulative, so
+   this is "the counter's value at the end of the analysis window". *)
+let last_value_in ~hi s =
+  let v = ref None in
+  Array.iteri (fun i t -> if t <= hi then v := Some s.values.(i)) s.times;
+  !v
+
+let mean_in ~lo ~hi s =
+  let sum = ref 0.0 and n = ref 0 in
+  Array.iteri
+    (fun i t ->
+      if t >= lo && t <= hi then begin
+        sum := !sum +. s.values.(i);
+        incr n
+      end)
+    s.times;
+  if !n = 0 then None else Some (!sum /. float_of_int !n)
+
+type flow_acc = {
+  fa_flow : string;
+  mutable fa_goodput : series option;
+  mutable fa_srtt : series option;
+  mutable fa_min_rtt : series option;
+  mutable fa_limits : (string * series) list;  (* newest first *)
+  mutable fa_busy : series option;
+  mutable fa_drops : series option;
+}
+
+type group_acc = {
+  ga_job : string option;
+  ga_scenario : string;
+  mutable ga_flows : flow_acc list;  (* newest first *)
+  mutable ga_elasticity : series option;
+}
+
+let explain ?(warmup = 0.0) ?(hi = infinity) ?(threshold = 0.5) t =
+  (* Group attribution series per (job, scenario), then per flow label.
+     The scenario's Nimbus elasticity verdict describes the cross
+     traffic the probe contends with, so it attaches to every flow row
+     of that scenario. *)
+  let groups : (string, group_acc) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  let group_of job scenario =
+    let key = (match job with Some j -> j | None -> "") ^ "\x00" ^ scenario in
+    match Hashtbl.find_opt groups key with
+    | Some g -> g
+    | None ->
+        let g =
+          { ga_job = job; ga_scenario = scenario; ga_flows = []; ga_elasticity = None }
+        in
+        Hashtbl.add groups key g;
+        order := g :: !order;
+        g
+  in
+  let flow_of g name =
+    match List.find_opt (fun f -> f.fa_flow = name) g.ga_flows with
+    | Some f -> f
+    | None ->
+        let f =
+          {
+            fa_flow = name;
+            fa_goodput = None;
+            fa_srtt = None;
+            fa_min_rtt = None;
+            fa_limits = [];
+            fa_busy = None;
+            fa_drops = None;
+          }
+        in
+        g.ga_flows <- f :: g.ga_flows;
+        f
+  in
+  List.iter
+    (fun s ->
+      let scenario =
+        match List.assoc_opt "scenario" s.labels with Some sc -> sc | None -> ""
+      in
+      if s.name = elasticity_series_name then begin
+        let g = group_of s.job scenario in
+        match g.ga_elasticity with
+        | Some _ -> ()
+        | None -> g.ga_elasticity <- Some s
+      end
+      else
+        match List.assoc_opt "flow" s.labels with
+        | None -> ()
+        | Some flow -> (
+            let f () = flow_of (group_of s.job scenario) flow in
+            match s.name with
+            | "flow_goodput_bps" -> (f ()).fa_goodput <- Some s
+            | "flow_srtt_s" -> (f ()).fa_srtt <- Some s
+            | "flow_min_rtt_s" -> (f ()).fa_min_rtt <- Some s
+            | "flow_bneck_busy_s" -> (f ()).fa_busy <- Some s
+            | "flow_bneck_drops" -> (f ()).fa_drops <- Some s
+            | "flow_limited_s" -> (
+                match List.assoc_opt "limit" s.labels with
+                | Some limit ->
+                    let f = f () in
+                    f.fa_limits <- (limit, s) :: f.fa_limits
+                | None -> ())
+            | _ -> ()))
+    t;
+  let final s = match last_value_in ~hi s with Some v -> v | None -> 0.0 in
+  let final_opt o = match o with Some s -> final s | None -> 0.0 in
+  List.rev !order
+  |> List.concat_map (fun g ->
+         let verdict =
+           match g.ga_elasticity with
+           | None -> None
+           | Some s ->
+               let r = elasticity_of ~warmup ~hi ~threshold s in
+               Some (if r.classified_elastic then "elastic" else "inelastic")
+         in
+         let flows = List.rev g.ga_flows in
+         let busy_total = List.fold_left (fun acc f -> acc +. final_opt f.fa_busy) 0.0 flows in
+         let drops_total =
+           List.fold_left (fun acc f -> acc +. final_opt f.fa_drops) 0.0 flows
+         in
+         List.map
+           (fun f ->
+             let limits =
+               List.map
+                 (fun limit ->
+                   ( limit,
+                     match List.assoc_opt limit f.fa_limits with
+                     | Some s -> final s
+                     | None -> 0.0 ))
+                 limit_order
+             in
+             let has_limits = match f.fa_limits with [] -> false | _ -> true in
+             let dominant, dominant_s =
+               if not has_limits then ("-", 0.0)
+               else
+                 List.fold_left
+                   (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+                   ("-", neg_infinity) limits
+             in
+             (* Contended time: connection age minus the self-inflicted
+                limits (app/rwnd) — the span during which the flow had
+                unmet demand and the network set its rate. *)
+             let elapsed =
+               List.fold_left
+                 (fun acc (_, s) ->
+                   Array.fold_left
+                     (fun a tm -> if tm <= hi then Float.max a tm else a)
+                     acc s.times)
+                 0.0 f.fa_limits
+             in
+             let contended =
+               if has_limits then
+                 Float.max 0.0
+                   (elapsed -. List.assoc "app" limits -. List.assoc "rwnd" limits)
+               else 0.0
+             in
+             let goodput =
+               match f.fa_goodput with
+               | Some s -> (
+                   match mean_in ~lo:warmup ~hi s with Some m -> m | None -> 0.0)
+               | None -> 0.0
+             in
+             let qdelay =
+               match (f.fa_srtt, f.fa_min_rtt) with
+               | Some srtt_s, Some min_s -> (
+                   match (mean_in ~lo:warmup ~hi srtt_s, last_value_in ~hi min_s) with
+                   | Some srtt, Some base when srtt > 0.0 ->
+                       Float.max 0.0 (Float.min 1.0 ((srtt -. base) /. srtt))
+                   | _ -> 0.0)
+               | _ -> 0.0
+             in
+             let share v total = if total > 0.0 then v /. total else 0.0 in
+             {
+               ex_job = g.ga_job;
+               ex_scenario = g.ga_scenario;
+               ex_flow = f.fa_flow;
+               ex_goodput_bps = goodput;
+               ex_limits = limits;
+               ex_dominant = dominant;
+               ex_dominant_s = (if has_limits then dominant_s else 0.0);
+               ex_queue_delay_share = qdelay;
+               ex_occupancy_share = share (final_opt f.fa_busy) busy_total;
+               ex_drop_share = share (final_opt f.fa_drops) drops_total;
+               ex_contended_s = contended;
+               ex_verdict = verdict;
+             })
+           flows)
+
+let render_explain ?warmup ?hi ?threshold t =
+  let rows = explain ?warmup ?hi ?threshold t in
+  let buf = Buffer.create 1024 in
+  (match rows with
+  | [] ->
+      Buffer.add_string buf
+        "no per-flow attribution series found (export with --series from a run \
+         recording a timeline)\n"
+  | rows ->
+      Printf.bprintf buf "flow-level contention diagnosis (%d flows):\n"
+        (List.length rows);
+      let table =
+        U.Table.create
+          ~columns:
+            [
+              ("scenario", U.Table.Left);
+              ("flow", U.Table.Left);
+              ("goodput Mbit/s", U.Table.Right);
+              ("dominant limit", U.Table.Left);
+              ("limited s", U.Table.Right);
+              ("qdelay share", U.Table.Right);
+              ("bneck share", U.Table.Right);
+              ("drop share", U.Table.Right);
+              ("contended s", U.Table.Right);
+              ("cross-traffic", U.Table.Left);
+            ]
+      in
+      List.iter
+        (fun r ->
+          let scenario =
+            if r.ex_scenario <> "" then r.ex_scenario
+            else match r.ex_job with Some j -> j | None -> "-"
+          in
+          U.Table.add_row table
+            [
+              scenario;
+              r.ex_flow;
+              U.Table.cell_f (r.ex_goodput_bps /. 1e6);
+              r.ex_dominant;
+              U.Table.cell_f r.ex_dominant_s;
+              U.Table.cell_pct r.ex_queue_delay_share;
+              U.Table.cell_pct r.ex_occupancy_share;
+              U.Table.cell_pct r.ex_drop_share;
+              U.Table.cell_f r.ex_contended_s;
+              (match r.ex_verdict with Some v -> v | None -> "-");
+            ])
+        rows;
+      Buffer.add_string buf (U.Table.render table));
+  Buffer.contents buf
+
 let render ?(warmup = 0.0) ?(hi = infinity) ?(threshold = 0.5) ?shift_threshold t =
   let buf = Buffer.create 1024 in
   let points = List.fold_left (fun acc s -> acc + Array.length s.times) 0 t in

@@ -76,6 +76,44 @@ val elasticity_of :
     [warmup <= t <= hi] (inclusive, matching [Timeseries.between]);
     elastic when p90 exceeds [threshold] (default 0.5). *)
 
+type explain_row = {
+  ex_job : string option;
+  ex_scenario : string;  (** ["scenario"] label, [""] when absent *)
+  ex_flow : string;  (** ["flow"] label *)
+  ex_goodput_bps : float;  (** mean of [flow_goodput_bps] over the window *)
+  ex_limits : (string * float) list;
+      (** cumulative seconds per send limit, in fixed order
+          app/rwnd/cwnd/pacing/recovery (0 when a limit series is absent) *)
+  ex_dominant : string;  (** limit with the most seconds, ["-"] for non-TCP flows *)
+  ex_dominant_s : float;
+  ex_queue_delay_share : float;
+      (** (mean srtt − min rtt) / mean srtt over the window, in [0, 1] *)
+  ex_occupancy_share : float;
+      (** flow's share of bottleneck serialization time across the scenario *)
+  ex_drop_share : float;  (** flow's share of bottleneck drops *)
+  ex_contended_s : float;
+      (** connection age minus app/rwnd-limited time: the span with unmet
+          demand where the network set the flow's rate *)
+  ex_verdict : string option;
+      (** the scenario's Nimbus cross-traffic verdict (["elastic"] /
+          ["inelastic"]), when a [nimbus_elasticity] series is present *)
+}
+
+val explain :
+  ?warmup:float -> ?hi:float -> ?threshold:float -> series list -> explain_row list
+(** Per-flow contention diagnosis from the attribution series recorded
+    by a timeline-enabled run ([flow_limited_s], [flow_bneck_busy_s],
+    [flow_bneck_drops], [flow_goodput_bps], [flow_srtt_s],
+    [flow_min_rtt_s]). Flows are grouped per (job, scenario); the
+    scenario's {!elasticity_series_name} verdict — computed with
+    {!elasticity_of} over the same window, so it agrees bit-for-bit
+    with the online detector — attaches to every flow row of that
+    scenario. Rows appear in series first-occurrence order. *)
+
+val render_explain :
+  ?warmup:float -> ?hi:float -> ?threshold:float -> series list -> string
+(** Human-readable {!explain} table (the body of [ccsim explain]). *)
+
 val render :
   ?warmup:float -> ?hi:float -> ?threshold:float -> ?shift_threshold:float ->
   series list -> string

@@ -44,6 +44,25 @@ module Flow_monitor = struct
         Ccsim_tcp.Sender.srtt sender);
     Sim.add_timeline_probe sim ~labels "flow_inflight_bytes" (fun () ->
         float_of_int (Ccsim_tcp.Sender.inflight sender));
+    Sim.add_timeline_probe sim ~labels "flow_min_rtt_s" (fun () ->
+        Ccsim_tcp.Sender.min_rtt sender);
+    (* Send-limit attribution: cumulative seconds per limit, one series
+       per limit label so `ccsim explain` can read the final value of
+       each. Sampling calls Sender.info once per limit per tick — cheap,
+       and only while a timeline is in scope. *)
+    List.iter
+      (fun (limit, read) ->
+        Sim.add_timeline_probe sim
+          ~labels:(("limit", limit) :: labels)
+          "flow_limited_s"
+          (fun () -> read (Ccsim_tcp.Sender.info sender)))
+      [
+        ("app", fun (i : Ccsim_tcp.Tcp_info.t) -> i.app_limited_s);
+        ("rwnd", fun (i : Ccsim_tcp.Tcp_info.t) -> i.rwnd_limited_s);
+        ("cwnd", fun (i : Ccsim_tcp.Tcp_info.t) -> i.cwnd_limited_s);
+        ("pacing", fun (i : Ccsim_tcp.Tcp_info.t) -> i.pacing_limited_s);
+        ("recovery", fun (i : Ccsim_tcp.Tcp_info.t) -> i.recovery_s);
+      ];
     let t =
       {
         acked = U.Timeseries.create ();

@@ -95,6 +95,7 @@ let min_residual_frac = 0.01
 
 type t = {
   sim : Ccsim_engine.Sim.t;
+  name : string;  (* hop label in lifecycle spans *)
   mutable rate_bps : float;
   mutable cross_bps : float;
   delay_s : float;
@@ -109,22 +110,36 @@ type t = {
          (enqueued/dequeued/delivered/tail-dropped) feed the
          packets-per-wall-second metric; a single field store per
          packet when profiling, a [match] on [None] otherwise *)
+  span : Obs.Span.t option;
+  flow_busy : (int, float ref) Hashtbl.t option;
+      (* per-flow serialization seconds (bottleneck occupancy shares);
+         allocated only when the ambient scope carries a timeline or
+         metrics, one table probe per transmission otherwise nothing *)
   wd : wd option;
   mutable imp : impairment option;
 }
 
-let create sim ~rate_bps ~delay_s ?qdisc ~sink () =
+let create sim ?(name = "link") ~rate_bps ~delay_s ?qdisc ~sink () =
   if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
   if delay_s < 0.0 then invalid_arg "Link.create: negative delay";
   let qdisc = match qdisc with Some q -> q | None -> Fifo.create () in
   let scope = Obs.Scope.ambient () in
   let qdisc =
-    match (scope.Obs.Scope.metrics, scope.Obs.Scope.recorder) with
-    | None, None -> qdisc
-    | metrics, recorder ->
-        Qdisc_obs.instrument ?metrics ?recorder
+    match (scope.Obs.Scope.metrics, scope.Obs.Scope.recorder, scope.Obs.Scope.span) with
+    | None, None, None -> qdisc
+    | metrics, recorder, span ->
+        Qdisc_obs.instrument ?metrics ?recorder ?span ~hop:name
           ~now:(fun () -> Ccsim_engine.Sim.now sim)
           qdisc
+  in
+  let flow_busy =
+    match (scope.Obs.Scope.timeline, scope.Obs.Scope.metrics) with
+    | None, None -> None
+    | _ ->
+        (* Flow attribution rides the same scope slots the per-flow
+           timeline probes and metrics export read from. *)
+        Qdisc.enable_flow_drop_accounting qdisc.Qdisc.stats;
+        Some (Hashtbl.create 16)
   in
   let obs =
     match scope.Obs.Scope.metrics with
@@ -158,6 +173,7 @@ let create sim ~rate_bps ~delay_s ?qdisc ~sink () =
   let t =
     {
       sim;
+      name;
       rate_bps;
       cross_bps = 0.0;
       delay_s;
@@ -168,6 +184,8 @@ let create sim ~rate_bps ~delay_s ?qdisc ~sink () =
       bytes_delivered = 0;
       obs;
       profile = scope.Obs.Scope.profile;
+      span = scope.Obs.Scope.span;
+      flow_busy;
       wd;
       imp = None;
     }
@@ -249,6 +267,33 @@ let note_fault t ~what (pkt : Packet.t) =
         what
   | None -> ()
 
+(* Wire-side lifecycle-span sites (the queue-side sites live in
+   Qdisc_obs): serialization-complete, delivery at the far end, and
+   wire drops. Only packets carrying the [sampled] tag are touched. *)
+let span_note_tx t (pkt : Packet.t) =
+  match t.span with
+  | Some s when pkt.Packet.sampled ->
+      Obs.Span.note_tx s ~hop:t.name ~at:(Ccsim_engine.Sim.now t.sim) ~uid:pkt.Packet.uid
+  | Some _ | None -> ()
+
+let span_note_delivered t (pkt : Packet.t) =
+  match t.span with
+  | Some s when pkt.Packet.sampled ->
+      Obs.Span.note_delivered s ~hop:t.name
+        ~at:(Ccsim_engine.Sim.now t.sim)
+        ~uid:pkt.Packet.uid
+  | Some _ | None -> ()
+
+let span_note_wire_drop t (pkt : Packet.t) =
+  match t.span with
+  | Some s when pkt.Packet.sampled ->
+      Obs.Span.note_dropped s ~hop:t.name
+        ~at:(Ccsim_engine.Sim.now t.sim)
+        ~uid:pkt.Packet.uid ~flow:pkt.Packet.flow ~seq:pkt.Packet.seq
+        ~bytes:pkt.Packet.size_bytes
+        ~kind:(if Packet.is_data pkt then "data" else "ack")
+  | Some _ | None -> ()
+
 (* Per-packet wire-loss draw: advances the Gilbert–Elliott chain (if
    configured) and returns whether this packet is lost on the wire.
    Only called with an impairment whose rng is installed. *)
@@ -284,6 +329,12 @@ let rec transmit_next t =
             ~rate_bps:effective_bps
         in
         t.busy_seconds <- t.busy_seconds +. tx_time;
+        (match t.flow_busy with
+        | Some tbl -> (
+            match Hashtbl.find_opt tbl pkt.Packet.flow with
+            | Some r -> r := !r +. tx_time
+            | None -> Hashtbl.add tbl pkt.Packet.flow (ref tx_time))
+        | None -> ());
         (match t.wd with
         | Some wd ->
             wd.tx_started_pkts <- wd.tx_started_pkts + 1;
@@ -292,6 +343,7 @@ let rec transmit_next t =
         ignore
           (Ccsim_engine.Sim.schedule t.sim ~delay:tx_time (fun () ->
                Ccsim_engine.Sim.set_component t.sim "link";
+               span_note_tx t pkt;
                (match t.imp with
                | None -> deliver t pkt ~extra_delay:0.0 ~duplicate:false
                | Some imp -> deliver_impaired t imp pkt);
@@ -313,6 +365,9 @@ and deliver t (pkt : Packet.t) ~extra_delay ~duplicate =
   ignore
     (Ccsim_engine.Sim.schedule t.sim ~delay:propagation (fun () ->
          Ccsim_engine.Sim.set_component t.sim "link";
+         (* First arrival closes the span; a duplicate ghost's second
+            call finds the record already closed and is ignored. *)
+         span_note_delivered t pkt;
          t.sink pkt));
   if duplicate then
     ignore
@@ -345,6 +400,7 @@ and deliver_impaired t imp (pkt : Packet.t) =
         wd.wd_lost_pkts <- wd.wd_lost_pkts + 1;
         wd.wd_lost_bytes <- wd.wd_lost_bytes + pkt.size_bytes
     | None -> ());
+    span_note_wire_drop t pkt;
     if lost then begin
       imp.wire_lost_pkts <- imp.wire_lost_pkts + 1;
       note_fault t ~what:"wire-loss" pkt
@@ -474,7 +530,15 @@ let wire_duplicated_packets t = match t.imp with Some i -> i.wire_duplicated_pkt
 let wire_reordered_packets t = match t.imp with Some i -> i.wire_reordered_pkts | None -> 0
 
 let as_sink t pkt = send t pkt
+let name t = t.name
 let rate_bps t = t.rate_bps
+
+let flow_busy_seconds t ~flow =
+  match t.flow_busy with
+  | None -> 0.0
+  | Some tbl -> ( match Hashtbl.find_opt tbl flow with Some r -> !r | None -> 0.0)
+
+let flow_drops t ~flow = Qdisc.flow_drops t.qdisc.Qdisc.stats ~flow
 
 let set_rate t rate =
   if rate <= 0.0 then invalid_arg "Link.set_rate: rate must be positive";

@@ -33,6 +33,7 @@ type loss_model =
 
 val create :
   Ccsim_engine.Sim.t ->
+  ?name:string ->
   rate_bps:float ->
   delay_s:float ->
   ?qdisc:Qdisc.t ->
@@ -40,7 +41,10 @@ val create :
   unit ->
   t
 (** Default qdisc: {!Fifo.create}[ ()]. Rate must be positive, delay
-    non-negative. *)
+    non-negative. [name] (default ["link"]) is the hop label carried by
+    lifecycle spans and flow-attribution probes. *)
+
+val name : t -> string
 
 val send : t -> Packet.t -> unit
 (** Offer a packet (may be dropped by the qdisc). *)
@@ -66,6 +70,15 @@ val qdisc : t -> Qdisc.t
 
 val busy_seconds : t -> float
 (** Cumulative time the link has spent serializing packets. *)
+
+val flow_busy_seconds : t -> flow:int -> float
+(** [flow]'s share of {!busy_seconds} — its bottleneck occupancy.
+    Accounted only when the ambient scope carries a timeline or metrics
+    at {!create} time; 0 otherwise. *)
+
+val flow_drops : t -> flow:int -> int
+(** Qdisc drops charged to [flow] (tail, head, and flush drops alike).
+    Accounted under the same condition as {!flow_busy_seconds}. *)
 
 val utilization : t -> now:float -> float
 (** [busy_seconds / now]; 0 at time 0. *)

@@ -15,6 +15,7 @@ type t = {
   sacks : (int * int) list;
   ece : bool;
   prio : int;
+  sampled : bool;
   mutable ecn_ce : bool;
 }
 
@@ -25,11 +26,21 @@ let next_uid = Atomic.make 0
 
 let fresh_uid () = Atomic.fetch_and_add next_uid 1 + 1
 
+(* Lifecycle-span sample membership, decided once at construction so
+   every hop agrees without re-deriving it. Reads the ambient scope —
+   a single domain-local load and a [match] on [None] when spans are
+   off, consuming no RNG either way. *)
+let sampled_uid uid =
+  match (Ccsim_obs.Scope.ambient ()).Ccsim_obs.Scope.span with
+  | None -> false
+  | Some s -> Ccsim_obs.Span.hit s ~uid
+
 let data ~flow ~seq ~payload_bytes ?(header_bytes = Ccsim_util.Units.header_bytes) ?(retx = false)
     ?(prio = 0) ~sent_at () =
   if payload_bytes <= 0 then invalid_arg "Packet.data: payload must be positive";
+  let uid = fresh_uid () in
   {
-    uid = fresh_uid ();
+    uid;
     flow;
     kind = Data;
     size_bytes = payload_bytes + header_bytes;
@@ -43,13 +54,15 @@ let data ~flow ~seq ~payload_bytes ?(header_bytes = Ccsim_util.Units.header_byte
     sacks = [];
     ece = false;
     prio;
+    sampled = sampled_uid uid;
     ecn_ce = false;
   }
 
 let ack ~flow ~ack ?(size_bytes = 64) ?(echo = 0.0) ?(for_retx = false) ?(rwnd = max_int)
     ?(sacks = []) ?(ece = false) ?(prio = 0) ~sent_at () =
+  let uid = fresh_uid () in
   {
-    uid = fresh_uid ();
+    uid;
     flow;
     kind = Ack;
     size_bytes;
@@ -63,6 +76,7 @@ let ack ~flow ~ack ?(size_bytes = 64) ?(echo = 0.0) ?(for_retx = false) ?(rwnd =
     sacks;
     ece;
     prio;
+    sampled = sampled_uid uid;
     ecn_ce = false;
   }
 

@@ -23,6 +23,10 @@ type t = {
           above the cumulative ack point *)
   ece : bool;  (** acks: congestion-experienced echo (ECN) *)
   prio : int;  (** priority band for {!Prio} qdiscs; 0 = highest *)
+  sampled : bool;
+      (** in the ambient {!Ccsim_obs.Span} store's 1-in-N lifecycle
+          sample (decided at construction; always [false] when spans
+          are off). Tracing only — never influences behaviour. *)
   mutable ecn_ce : bool;  (** congestion-experienced mark *)
 }
 

@@ -4,6 +4,10 @@ type stats = {
   mutable dequeued : int;
   mutable bytes_dropped : int;
   mutable ecn_marked : int;
+  mutable flow_dropped : (int, int ref) Hashtbl.t option;
+      (* per-flow drop shares; [None] (the default) keeps [drop] a pure
+         pair of field bumps. Enabled by the owning link when the
+         ambient scope asks for flow attribution. *)
 }
 
 type t = {
@@ -19,11 +23,34 @@ type t = {
 let ignore_cross_backlog (_ : int) = ()
 
 let make_stats () =
-  { enqueued = 0; dropped = 0; dequeued = 0; bytes_dropped = 0; ecn_marked = 0 }
+  {
+    enqueued = 0;
+    dropped = 0;
+    dequeued = 0;
+    bytes_dropped = 0;
+    ecn_marked = 0;
+    flow_dropped = None;
+  }
+
+let enable_flow_drop_accounting stats =
+  match stats.flow_dropped with
+  | Some _ -> ()
+  | None -> stats.flow_dropped <- Some (Hashtbl.create 16)
 
 let drop stats (pkt : Packet.t) =
   stats.dropped <- stats.dropped + 1;
-  stats.bytes_dropped <- stats.bytes_dropped + pkt.size_bytes
+  stats.bytes_dropped <- stats.bytes_dropped + pkt.size_bytes;
+  match stats.flow_dropped with
+  | None -> ()
+  | Some tbl -> (
+      match Hashtbl.find_opt tbl pkt.flow with
+      | Some r -> incr r
+      | None -> Hashtbl.add tbl pkt.flow (ref 1))
+
+let flow_drops stats ~flow =
+  match stats.flow_dropped with
+  | None -> 0
+  | Some tbl -> ( match Hashtbl.find_opt tbl flow with Some r -> !r | None -> 0)
 
 (* Drain through the discipline's own dequeue path, then reclassify the
    drained packets as drops: dequeued is rewound and dropped advanced,

@@ -17,6 +17,10 @@ type stats = {
   mutable dequeued : int;
   mutable bytes_dropped : int;
   mutable ecn_marked : int;
+  mutable flow_dropped : (int, int ref) Hashtbl.t option;
+      (** per-flow drop counts; [None] (default) until
+          {!enable_flow_drop_accounting} — the zero-instrumentation
+          [drop] path stays two field bumps and a [match] on [None] *)
 }
 
 type t = {
@@ -44,7 +48,15 @@ val ignore_cross_backlog : int -> unit
 val make_stats : unit -> stats
 
 val drop : stats -> Packet.t -> unit
-(** Account a drop. *)
+(** Account a drop (every discipline's single drop choke point, so
+    per-flow shares cover tail drops, head drops, and flushes alike). *)
+
+val enable_flow_drop_accounting : stats -> unit
+(** Arm per-flow drop accounting (idempotent). Called by the owning
+    link when the ambient scope requests flow attribution. *)
+
+val flow_drops : stats -> flow:int -> int
+(** Drops charged to [flow] (0 when accounting is off). *)
 
 val flush : t -> int
 (** Drop the entire backlog (a qdisc reset, as when a discipline is

@@ -1,8 +1,33 @@
 module Obs = Ccsim_obs
 
-let instrument ?metrics ?recorder ~now (q : Qdisc.t) : Qdisc.t =
-  match (metrics, recorder) with
-  | None, None -> q
+let pkt_kind (pkt : Packet.t) = if Packet.is_data pkt then "data" else "ack"
+
+(* Lifecycle-span sites at the queue boundary: accepted enqueues open a
+   span record, dequeues close the queueing phase, tail drops complete
+   the record as dropped. Only packets carrying the construction-time
+   [sampled] tag are touched. *)
+let span_enqueue span ~hop ~now (pkt : Packet.t) =
+  match span with
+  | Some s when pkt.Packet.sampled ->
+      Obs.Span.note_enqueue s ~hop ~at:(now ()) ~uid:pkt.uid ~flow:pkt.flow ~seq:pkt.seq
+        ~bytes:pkt.size_bytes ~kind:(pkt_kind pkt)
+  | Some _ | None -> ()
+
+let span_tail_drop span ~hop ~now (pkt : Packet.t) =
+  match span with
+  | Some s when pkt.Packet.sampled ->
+      Obs.Span.note_dropped s ~hop ~at:(now ()) ~uid:pkt.uid ~flow:pkt.flow ~seq:pkt.seq
+        ~bytes:pkt.size_bytes ~kind:(pkt_kind pkt)
+  | Some _ | None -> ()
+
+let span_dequeue span ~hop ~now (pkt : Packet.t) =
+  match span with
+  | Some s when pkt.Packet.sampled -> Obs.Span.note_dequeue s ~hop ~at:(now ()) ~uid:pkt.uid
+  | Some _ | None -> ()
+
+let instrument ?metrics ?recorder ?span ?(hop = "link") ~now (q : Qdisc.t) : Qdisc.t =
+  match (metrics, recorder, span) with
+  | None, None, None -> q
   | _ ->
       let labels = [ ("qdisc", q.name) ] in
       let m_enq =
@@ -62,8 +87,10 @@ let instrument ?metrics ?recorder ~now (q : Qdisc.t) : Qdisc.t =
         let accepted = q.enqueue pkt in
         if accepted then begin
           Option.iter Obs.Metrics.inc m_enq;
-          if m_sojourn <> None then Hashtbl.replace enq_times pkt.Packet.uid (now ())
-        end;
+          if m_sojourn <> None then Hashtbl.replace enq_times pkt.Packet.uid (now ());
+          span_enqueue span ~hop ~now pkt
+        end
+        else span_tail_drop span ~hop ~now pkt;
         let internal = q.stats.dropped - dropped_before - (if accepted then 0 else 1) in
         if not accepted then record_drop ~count:1 (Some pkt);
         if internal > 0 then record_drop ~count:internal None;
@@ -76,6 +103,7 @@ let instrument ?metrics ?recorder ~now (q : Qdisc.t) : Qdisc.t =
         (match result with
         | Some pkt -> (
             Option.iter Obs.Metrics.inc m_deq;
+            span_dequeue span ~hop ~now pkt;
             match m_sojourn with
             | Some h -> (
                 match Hashtbl.find_opt enq_times pkt.Packet.uid with

@@ -14,16 +14,25 @@
     working. Internal drops (e.g. CoDel head drops) are detected via
     [stats.dropped] deltas around each operation.
 
+    When a {!Ccsim_obs.Span} store is given, the wrapper also drives
+    the queue-side lifecycle-span sites for packets carrying the
+    [sampled] tag: accepted enqueues open a span record at [hop],
+    dequeues close the queueing phase, and tail drops complete the
+    record as dropped.
+
     {!Link.create} applies this automatically to its qdisc when the
-    ambient {!Ccsim_obs.Scope} carries metrics or a recorder; with the
-    default empty scope, [instrument] is never called and the qdisc is
-    untouched. *)
+    ambient {!Ccsim_obs.Scope} carries metrics, a recorder, or a span
+    store; with the default empty scope, [instrument] is never called
+    and the qdisc is untouched. *)
 
 val instrument :
   ?metrics:Ccsim_obs.Metrics.t ->
   ?recorder:Ccsim_obs.Recorder.t ->
+  ?span:Ccsim_obs.Span.t ->
+  ?hop:string ->
   now:(unit -> float) ->
   Qdisc.t ->
   Qdisc.t
-(** Returns the qdisc unchanged when neither [metrics] nor [recorder]
-    is given. *)
+(** Returns the qdisc unchanged when none of [metrics], [recorder],
+    [span] is given. [hop] (default ["link"]) names the link in span
+    records. *)

@@ -22,7 +22,8 @@ let dumbbell sim ~rate_bps ~delay_s ?qdisc ?(edge_delay = fun _ -> 0.001)
   let fwd_dispatch = Dispatch.create () in
   let rev_dispatch = Dispatch.create () in
   let bottleneck =
-    Link.create sim ~rate_bps ~delay_s ?qdisc ~sink:(Dispatch.as_sink fwd_dispatch) ()
+    Link.create sim ~name:"bottleneck" ~rate_bps ~delay_s ?qdisc
+      ~sink:(Dispatch.as_sink fwd_dispatch) ()
   in
   (* Per-flow forward edge: edge link -> (optional shaper/policer) -> bottleneck.
      Concurrency/determinism audit (ccsim-lint): the entry tables below
@@ -43,7 +44,9 @@ let dumbbell sim ~rate_bps ~delay_s ?qdisc ?(edge_delay = fun _ -> 0.001)
               Policer.as_sink (Policer.create sim ~rate_bps ~burst_bytes ~sink:to_bottleneck ())
         in
         let edge =
-          Link.create sim ~rate_bps:edge_rate ~delay_s:(edge_delay flow) ~sink:next ()
+          Link.create sim
+            ~name:(Printf.sprintf "edge:%d" flow)
+            ~rate_bps:edge_rate ~delay_s:(edge_delay flow) ~sink:next ()
         in
         let entry = Link.as_sink edge in
         Hashtbl.add fwd_entries flow entry;
@@ -58,7 +61,9 @@ let dumbbell sim ~rate_bps ~delay_s ?qdisc ?(edge_delay = fun _ -> 0.001)
     | None ->
         let delay = delay_s +. edge_delay flow in
         let link =
-          Link.create sim ~rate_bps:rev_rate ~delay_s:delay
+          Link.create sim
+            ~name:(Printf.sprintf "rev:%d" flow)
+            ~rate_bps:rev_rate ~delay_s:delay
             ~qdisc:(Fifo.create ~limit_bytes:100_000_000 ())
             ~sink:(Dispatch.as_sink rev_dispatch) ()
         in

@@ -1,9 +1,14 @@
 (* Chrome trace-event ("JSON array") exporter, loadable in Perfetto and
    chrome://tracing. Each job becomes one process: its timeline series
    become counter tracks (ph "C"), its flight-recorder events become
-   instant events (ph "i"), and one duration event (ph "X") spans the
-   whole run so the process row has visible extent. Timestamps are
-   virtual seconds scaled to microseconds, the format's native unit. *)
+   instant events (ph "i"), its packet lifecycle spans become duration
+   events (ph "X") on one thread per hop, and one duration event spans
+   the whole run so the process row has visible extent. Timestamps are
+   virtual seconds scaled to microseconds, the format's native unit.
+
+   Metadata events ("M") come first, in job order; every other event is
+   stable-sorted on (ts, pid, tid) so the document is globally
+   time-ordered while same-timestamp events keep their emission order. *)
 
 let ts_of seconds = seconds *. 1e6
 
@@ -26,21 +31,32 @@ let severity_arg = function
   | Recorder.Warn -> "warn"
   | Recorder.Error -> "error"
 
+(* Span threads start here; tid 0 is the process track, tid 1 the
+   flight-recorder instants. *)
+let span_tid_base = 2
+
+type ev = { ev_ts : float; ev_pid : int; ev_tid : int; ev_json : string }
+
 let to_string jobs =
-  let buf = Buffer.create 8192 in
-  let first = ref true in
-  let event fmt =
+  let meta = Buffer.create 512 in
+  let meta_first = ref true in
+  let metadata fmt =
     Printf.ksprintf
       (fun s ->
-        if !first then first := false else Buffer.add_string buf ",\n";
-        Buffer.add_string buf s)
+        if !meta_first then meta_first := false else Buffer.add_string meta ",\n";
+        Buffer.add_string meta s)
       fmt
   in
-  Buffer.add_string buf "[\n";
+  let events = ref [] in
+  let event ~ts ~pid ~tid fmt =
+    Printf.ksprintf
+      (fun s -> events := { ev_ts = ts; ev_pid = pid; ev_tid = tid; ev_json = s } :: !events)
+      fmt
+  in
   List.iteri
-    (fun i (job_name, timeline, recorder) ->
+    (fun i (job_name, timeline, recorder, span) ->
       let pid = i + 1 in
-      event "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":%s}}"
+      metadata "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":%s}}"
         pid (Json.str job_name);
       (* Span of the whole job, for a visible process row. *)
       let t_min = ref infinity and t_max = ref neg_infinity in
@@ -57,8 +73,17 @@ let to_string jobs =
       Option.iter
         (fun r -> List.iter (fun (e : Recorder.event) -> see e.at) (Recorder.events r))
         recorder;
+      Option.iter
+        (fun sp ->
+          List.iter
+            (fun (r : Span.record) ->
+              see r.Span.t_enq;
+              if Float.is_finite r.Span.t_rx then see r.Span.t_rx)
+            (Span.completed sp))
+        span;
       if !t_max >= !t_min then
-        event "{\"name\":%s,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":0}"
+        event ~ts:!t_min ~pid ~tid:0
+          "{\"name\":%s,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":0}"
           (Json.str job_name) (ts_of !t_min)
           (ts_of (!t_max -. !t_min))
           pid;
@@ -69,7 +94,8 @@ let to_string jobs =
               let name = Json.str (track_name s) in
               Array.iter
                 (fun (t, v) ->
-                  event "{\"name\":%s,\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,\"args\":{\"value\":%s}}"
+                  event ~ts:t ~pid ~tid:0
+                    "{\"name\":%s,\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,\"args\":{\"value\":%s}}"
                     name (ts_of t) pid (num v))
                 (Timeline.points s))
             (Timeline.all_series tl))
@@ -83,11 +109,68 @@ let to_string jobs =
                 |> List.map (fun (k, v) -> Printf.sprintf "%s:%s" (Json.str k) (Json.str v))
                 |> String.concat ","
               in
-              event "{\"name\":%s,\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,\"tid\":1,\"s\":\"p\",\"args\":{%s}}"
+              event ~ts:e.at ~pid ~tid:1
+                "{\"name\":%s,\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,\"tid\":1,\"s\":\"p\",\"args\":{%s}}"
                 (Json.str (e.kind ^ ":" ^ e.detail))
                 (ts_of e.at) pid args)
             (Recorder.events r))
-        recorder)
+        recorder;
+      Option.iter
+        (fun sp ->
+          (* One thread per hop, numbered in first-appearance order so
+             the assignment is deterministic. *)
+          let hop_tids : (string, int) Hashtbl.t = Hashtbl.create 8 in
+          let next_tid = ref span_tid_base in
+          let tid_of hop =
+            match Hashtbl.find_opt hop_tids hop with
+            | Some tid -> tid
+            | None ->
+                let tid = !next_tid in
+                incr next_tid;
+                Hashtbl.add hop_tids hop tid;
+                metadata
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}"
+                  pid tid
+                  (Json.str ("hop: " ^ hop));
+                tid
+          in
+          List.iter
+            (fun (r : Span.record) ->
+              let tid = tid_of r.Span.hop in
+              let phase name lo delay =
+                match delay with
+                | Some d when d >= 0.0 ->
+                    event ~ts:lo ~pid ~tid
+                      "{\"name\":%s,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"hop\":%s,\"uid\":%d,\"flow\":%d,\"seq\":%d,\"kind\":%s,\"outcome\":%s}}"
+                      (Json.str name) (ts_of lo) (ts_of d) pid tid
+                      (Json.str r.Span.hop) r.Span.uid r.Span.flow r.Span.seq
+                      (Json.str r.Span.kind)
+                      (Json.str (Span.outcome_to_string r.Span.outcome))
+                | Some _ | None -> ()
+              in
+              phase "queue" r.Span.t_enq (Span.queue_delay r);
+              phase "serialize" r.Span.t_deq (Span.serialize_delay r);
+              phase "propagate" r.Span.t_tx (Span.propagate_delay r))
+            (Span.completed sp))
+        span)
     jobs;
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        let c = Float.compare a.ev_ts b.ev_ts in
+        if c <> 0 then c
+        else
+          let c = compare a.ev_pid b.ev_pid in
+          if c <> 0 then c else compare a.ev_tid b.ev_tid)
+      (List.rev !events)
+  in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "[\n";
+  Buffer.add_buffer buf meta;
+  List.iter
+    (fun e ->
+      if Buffer.length buf > 2 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf e.ev_json)
+    sorted;
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf

@@ -1,13 +1,17 @@
 (** Chrome trace-event exporter (Perfetto / chrome://tracing).
 
-    Merges timelines and flight recorders from one or more jobs into a
-    single JSON-array trace: one process per job (named via a metadata
-    event), one counter track per timeline series, one instant event per
-    recorder event, and a duration event spanning each job's run.
+    Merges timelines, flight recorders, and packet lifecycle spans from
+    one or more jobs into a single JSON-array trace: one process per job
+    (named via a metadata event), one counter track per timeline series,
+    one instant event per recorder event, per-phase duration events
+    (queue / serialize / propagate) on one named thread per hop for each
+    completed span record, and a duration event spanning each job's run.
     Virtual-time seconds are exported as microsecond [ts] values. *)
 
-val to_string : (string * Timeline.t option * Recorder.t option) list -> string
-(** [to_string [(job, timeline, recorder); ...]] renders the full trace
-    document (a JSON array, trailing newline). Per-track timestamps are
-    monotone because series points and recorder events are stored in
-    time order. *)
+val to_string :
+  (string * Timeline.t option * Recorder.t option * Span.t option) list -> string
+(** [to_string [(job, timeline, recorder, spans); ...]] renders the full
+    trace document (a JSON array, trailing newline). Metadata events
+    come first in job order; all other events are stable-sorted on
+    [(ts, pid, tid)], so the document is globally time-ordered and
+    per-track timestamps stay monotone. *)

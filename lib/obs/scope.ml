@@ -4,13 +4,21 @@ type t = {
   profile : Profile.t option;
   timeline : Timeline.t option;
   watchdog : Watchdog.t option;
+  span : Span.t option;
 }
 
 let none =
-  { metrics = None; recorder = None; profile = None; timeline = None; watchdog = None }
+  {
+    metrics = None;
+    recorder = None;
+    profile = None;
+    timeline = None;
+    watchdog = None;
+    span = None;
+  }
 
-let v ?metrics ?recorder ?profile ?timeline ?watchdog () =
-  { metrics; recorder; profile; timeline; watchdog }
+let v ?metrics ?recorder ?profile ?timeline ?watchdog ?span () =
+  { metrics; recorder; profile; timeline; watchdog; span }
 
 let is_none t =
   match t with
@@ -20,6 +28,7 @@ let is_none t =
    profile = None;
    timeline = None;
    watchdog = None;
+   span = None;
   } ->
       true
   | _ -> false

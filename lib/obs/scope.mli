@@ -21,6 +21,7 @@ type t = {
   profile : Profile.t option;
   timeline : Timeline.t option;
   watchdog : Watchdog.t option;
+  span : Span.t option;
 }
 
 val none : t
@@ -31,6 +32,7 @@ val v :
   ?profile:Profile.t ->
   ?timeline:Timeline.t ->
   ?watchdog:Watchdog.t ->
+  ?span:Span.t ->
   unit ->
   t
 val is_none : t -> bool

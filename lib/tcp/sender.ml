@@ -15,7 +15,7 @@ type segment = {
   mutable app_limited_at_send : bool;
 }
 
-type limited = Not_started | App | Rwnd | Cwnd | Busy
+type limited = Not_started | App | Rwnd | Cwnd | Pacing | Busy
 
 type t = {
   sim : Sim.t;
@@ -68,7 +68,10 @@ type t = {
   mutable app_limited_s : float;
   mutable rwnd_limited_s : float;
   mutable cwnd_limited_s : float;
+  mutable pacing_limited_s : float;
   mutable busy_s : float;
+  mutable recovery_since : float;  (* meaningful while in_recovery *)
+  mutable recovery_s : float;
   (* observability, resolved from the ambient scope at creation *)
   m_retransmits : Obs.Metrics.counter option;
   m_rtos : Obs.Metrics.counter option;
@@ -101,6 +104,7 @@ let account_limited t state =
     | App -> t.app_limited_s <- t.app_limited_s +. elapsed
     | Rwnd -> t.rwnd_limited_s <- t.rwnd_limited_s +. elapsed
     | Cwnd -> t.cwnd_limited_s <- t.cwnd_limited_s +. elapsed
+    | Pacing -> t.pacing_limited_s <- t.pacing_limited_s +. elapsed
     | Busy -> t.busy_s <- t.busy_s +. elapsed);
     t.limited_state <- state;
     t.limited_since <- now
@@ -154,6 +158,7 @@ let enter_recovery t =
     t.in_recovery <- true;
     t.recover <- t.snd_nxt;
     let now = Sim.now t.sim in
+    t.recovery_since <- now;
     (match t.obs_recorder with
     | Some r ->
         Obs.Recorder.record r ~at:now ~severity:Obs.Recorder.Info ~kind:"cca"
@@ -250,6 +255,7 @@ and on_rto t =
     Rtt_estimator.backoff t.rtt;
     t.cca.Cca.on_rto ~now:(Sim.now t.sim);
     t.dupacks <- 0;
+    if not t.in_recovery then t.recovery_since <- Sim.now t.sim;
     t.in_recovery <- true;
     t.recover <- t.snd_nxt;
     (* Everything unsacked is presumed lost and will be retransmitted as
@@ -285,7 +291,7 @@ and try_send t =
           end
           else if pace_blocked then begin
             continue := false;
-            account_limited t Busy;
+            account_limited t Pacing;
             schedule_pace ()
           end
           else begin
@@ -314,7 +320,7 @@ and try_send t =
           end
           else if pace_blocked then begin
             continue := false;
-            account_limited t Busy;
+            account_limited t Pacing;
             schedule_pace ()
           end
           else begin
@@ -435,7 +441,10 @@ let handle_ack t (pkt : Packet.t) =
       let app_limited_sample = app_limited_now t && inflight t < t.mss * 4 in
       detect_losses t;
       if t.lost_bytes > 0 then enter_recovery t;
-      if t.in_recovery && t.snd_una >= t.recover then t.in_recovery <- false;
+      if t.in_recovery && t.snd_una >= t.recover then begin
+        t.in_recovery <- false;
+        t.recovery_s <- t.recovery_s +. (now -. t.recovery_since)
+      end;
       let ack_info =
         {
           Cca.now;
@@ -499,6 +508,12 @@ let info t =
   let app = t.app_limited_s +. (match t.limited_state with App -> extra | _ -> 0.0) in
   let rwnd = t.rwnd_limited_s +. (match t.limited_state with Rwnd -> extra | _ -> 0.0) in
   let cwnd = t.cwnd_limited_s +. (match t.limited_state with Cwnd -> extra | _ -> 0.0) in
+  let pacing =
+    t.pacing_limited_s +. (match t.limited_state with Pacing -> extra | _ -> 0.0)
+  in
+  let recovery =
+    t.recovery_s +. if t.in_recovery then now -. t.recovery_since else 0.0
+  in
   {
     Tcp_info.at = now;
     bytes_acked = t.snd_una;
@@ -512,6 +527,8 @@ let info t =
     app_limited_s = app;
     rwnd_limited_s = rwnd;
     cwnd_limited_s = cwnd;
+    pacing_limited_s = pacing;
+    recovery_s = recovery;
     elapsed_s = now -. t.started_at;
   }
 
@@ -575,7 +592,10 @@ let create sim ~flow ~cca ~path ?(mss = Ccsim_util.Units.mss) ?(on_complete = fu
     app_limited_s = 0.0;
     rwnd_limited_s = 0.0;
     cwnd_limited_s = 0.0;
+    pacing_limited_s = 0.0;
     busy_s = 0.0;
+    recovery_since = 0.0;
+    recovery_s = 0.0;
       m_retransmits = counter "tcp_retransmits_total";
       m_rtos = counter "tcp_rtos_total";
       m_cwnd_limited = counter "tcp_cwnd_limited_transitions_total";

@@ -11,6 +11,8 @@ type t = {
   app_limited_s : float;
   rwnd_limited_s : float;
   cwnd_limited_s : float;
+  pacing_limited_s : float;
+  recovery_s : float;
   elapsed_s : float;
 }
 

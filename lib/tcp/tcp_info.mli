@@ -19,6 +19,10 @@ type t = {
   app_limited_s : float;  (** cumulative seconds app-limited *)
   rwnd_limited_s : float;
   cwnd_limited_s : float;
+  pacing_limited_s : float;
+      (** cumulative seconds the next send waited only on the pacing
+          clock (previously folded into serialization busy time) *)
+  recovery_s : float;  (** cumulative seconds spent in loss recovery *)
   elapsed_s : float;  (** connection age at the snapshot *)
 }
 

@@ -35,10 +35,49 @@ let test_job_failure () =
 let test_unsupported_backend () =
   check_code "packet-only experiment on fluid backend" "e1 --backend fluid" 124
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_flight_rec_level () =
+  (* --flight-rec-level raises the recorder's severity floor: a journal
+     captured at `warn` must drop the debug/info event bulk (packet
+     lifecycle, CCA decisions) a default capture keeps. *)
+  let tmp = Filename.temp_file "ccsim_flight" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      check_code "flight journal at default level"
+        (Printf.sprintf "e4 --duration 7 --flight-rec %s" (Filename.quote tmp))
+        0;
+      let full = read_file tmp in
+      Alcotest.(check bool) "default keeps debug events" true
+        (contains ~sub:"\"severity\":\"debug\"" full);
+      check_code "flight journal at warn level"
+        (Printf.sprintf "e4 --duration 7 --flight-rec %s --flight-rec-level warn"
+           (Filename.quote tmp))
+        0;
+      let filtered = read_file tmp in
+      Alcotest.(check bool) "warn floor drops debug" false
+        (contains ~sub:"\"severity\":\"debug\"" filtered);
+      Alcotest.(check bool) "warn floor drops info" false
+        (contains ~sub:"\"severity\":\"info\"" filtered);
+      Alcotest.(check bool) "filtered journal is smaller" true
+        (String.length filtered < String.length full);
+      check_code "bad level is a usage error" "e4 --flight-rec-level loud" 2)
+
 let suite =
   [
     Alcotest.test_case "exit 0: success paths" `Quick test_ok;
     Alcotest.test_case "exit 2: usage errors (incl. fault plans)" `Quick test_usage_errors;
     Alcotest.test_case "exit 1: job failure" `Quick test_job_failure;
     Alcotest.test_case "exit 124: unsupported backend" `Quick test_unsupported_backend;
+    Alcotest.test_case "flight recorder: severity floor flag" `Slow test_flight_rec_level;
   ]

@@ -494,6 +494,99 @@ let test_report_embeds_profile () =
   Alcotest.(check bool) "no stray profile" false
     (contains ~sub:"\"profile\"" json')
 
+(* --- packet lifecycle spans ----------------------------------------------- *)
+
+module Span = Obs.Span
+
+let test_span_sampling () =
+  let sp = Span.create ~sample:3 () in
+  Alcotest.(check int) "sample" 3 (Span.sample sp);
+  Alcotest.(check bool) "uid 0 sampled" true (Span.hit sp ~uid:0);
+  Alcotest.(check bool) "uid 3 sampled" true (Span.hit sp ~uid:3);
+  Alcotest.(check bool) "uid 1 not sampled" false (Span.hit sp ~uid:1);
+  Alcotest.(check bool) "uid 2 not sampled" false (Span.hit sp ~uid:2);
+  Alcotest.check_raises "sample must be >= 1"
+    (Invalid_argument "Span.create: sample must be >= 1") (fun () ->
+      ignore (Span.create ~sample:0 ()))
+
+let test_span_lifecycle () =
+  let sp = Span.create ~sample:1 () in
+  Span.note_enqueue sp ~hop:"bottleneck" ~at:1.0 ~uid:0 ~flow:7 ~seq:3 ~bytes:1500
+    ~kind:"data";
+  Span.note_dequeue sp ~hop:"bottleneck" ~at:1.25 ~uid:0;
+  Span.note_tx sp ~hop:"bottleneck" ~at:1.5 ~uid:0;
+  Span.note_delivered sp ~hop:"bottleneck" ~at:2.0 ~uid:0;
+  Alcotest.(check int) "one completed" 1 (Span.completed_count sp);
+  Alcotest.(check int) "none open" 0 (Span.open_count sp);
+  (match Span.completed sp with
+  | [ r ] ->
+      Alcotest.(check bool) "complete" true (Span.complete r);
+      Alcotest.(check string) "outcome" "delivered" (Span.outcome_to_string r.Span.outcome);
+      check_float0 "queue delay" 0.25 (Option.get (Span.queue_delay r));
+      check_float0 "serialize delay" 0.25 (Option.get (Span.serialize_delay r));
+      check_float0 "propagate delay" 0.5 (Option.get (Span.propagate_delay r));
+      Alcotest.(check int) "flow" 7 r.Span.flow;
+      Alcotest.(check string) "hop" "bottleneck" r.Span.hop
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 record, got %d" (List.length rs)));
+  (* A duplicate delivery (fault-injected ghost) of a closed span is ignored. *)
+  Span.note_delivered sp ~hop:"bottleneck" ~at:2.5 ~uid:0;
+  Alcotest.(check int) "duplicate ignored" 1 (Span.completed_count sp)
+
+let test_span_drops () =
+  let sp = Span.create ~sample:1 () in
+  (* Wire drop of an open record closes it as Dropped. *)
+  Span.note_enqueue sp ~hop:"l" ~at:1.0 ~uid:0 ~flow:1 ~seq:0 ~bytes:100 ~kind:"data";
+  Span.note_dropped sp ~hop:"l" ~at:1.5 ~uid:0 ~flow:1 ~seq:0 ~bytes:100 ~kind:"data";
+  (* Tail drop with no open record synthesizes a zero-length span. *)
+  Span.note_dropped sp ~hop:"l" ~at:2.0 ~uid:1 ~flow:1 ~seq:1 ~bytes:100 ~kind:"data";
+  Alcotest.(check int) "both completed" 2 (Span.completed_count sp);
+  Alcotest.(check int) "both started" 2 (Span.started sp);
+  List.iter
+    (fun (r : Span.record) ->
+      Alcotest.(check string) "dropped" "dropped" (Span.outcome_to_string r.Span.outcome);
+      Alcotest.(check bool) "not complete" false (Span.complete r);
+      Alcotest.(check bool) "no propagate phase" true (Span.propagate_delay r = None))
+    (Span.completed sp)
+
+let test_span_seal_and_eviction () =
+  let sp = Span.create ~capacity:2 ~sample:1 () in
+  (* Two still-open records seal as Incomplete in (uid, hop) order. *)
+  Span.note_enqueue sp ~hop:"b" ~at:1.0 ~uid:2 ~flow:1 ~seq:0 ~bytes:10 ~kind:"data";
+  Span.note_enqueue sp ~hop:"a" ~at:1.0 ~uid:1 ~flow:1 ~seq:1 ~bytes:10 ~kind:"ack";
+  Span.seal sp ~now:5.0;
+  Alcotest.(check int) "sealed to completed" 2 (Span.completed_count sp);
+  (match Span.completed sp with
+  | [ r1; r2 ] ->
+      Alcotest.(check int) "uid order" 1 r1.Span.uid;
+      Alcotest.(check int) "uid order" 2 r2.Span.uid;
+      Alcotest.(check string) "incomplete" "incomplete"
+        (Span.outcome_to_string r1.Span.outcome)
+  | _ -> Alcotest.fail "expected 2 sealed records");
+  (* Capacity 2: a third completion evicts the oldest. *)
+  Span.note_enqueue sp ~hop:"c" ~at:6.0 ~uid:3 ~flow:2 ~seq:0 ~bytes:10 ~kind:"data";
+  Span.note_delivered sp ~hop:"c" ~at:6.5 ~uid:3;
+  Alcotest.(check int) "capacity bound" 2 (Span.completed_count sp);
+  Alcotest.(check int) "eviction counted" 1 (Span.evicted sp);
+  Alcotest.(check int) "started counts everything" 3 (Span.started sp)
+
+let test_span_journal () =
+  let r = Recorder.create () in
+  let sp = Span.create ~recorder:r ~sample:1 () in
+  Span.note_enqueue sp ~hop:"bottleneck" ~at:1.0 ~uid:0 ~flow:4 ~seq:9 ~bytes:1500
+    ~kind:"data";
+  Span.note_dequeue sp ~hop:"bottleneck" ~at:1.25 ~uid:0;
+  Span.note_tx sp ~hop:"bottleneck" ~at:1.5 ~uid:0;
+  Span.note_delivered sp ~hop:"bottleneck" ~at:2.0 ~uid:0;
+  match Recorder.by_kind r "span" with
+  | [ e ] ->
+      Alcotest.(check string) "point is hop" "bottleneck" e.Recorder.point;
+      Alcotest.(check string) "detail is outcome" "delivered" e.Recorder.detail;
+      Alcotest.(check (option string)) "uid field" (Some "0")
+        (List.assoc_opt "uid" e.Recorder.fields);
+      Alcotest.(check (option string)) "queue_s field" (Some "0.250000000")
+        (List.assoc_opt "queue_s" e.Recorder.fields)
+  | es -> Alcotest.fail (Printf.sprintf "expected 1 span event, got %d" (List.length es))
+
 let suite =
   [
     Alcotest.test_case "metrics: counter basics" `Quick test_counter_basics;
@@ -526,4 +619,10 @@ let suite =
     Alcotest.test_case "e2e: instrumentation does not change results" `Slow
       test_instrumentation_does_not_change_results;
     Alcotest.test_case "runner: report embeds profiles" `Quick test_report_embeds_profile;
+    Alcotest.test_case "span: deterministic uid sampling" `Quick test_span_sampling;
+    Alcotest.test_case "span: lifecycle phases decompose" `Quick test_span_lifecycle;
+    Alcotest.test_case "span: wire and tail drops" `Quick test_span_drops;
+    Alcotest.test_case "span: seal order and capacity eviction" `Quick
+      test_span_seal_and_eviction;
+    Alcotest.test_case "span: journals to the flight recorder" `Quick test_span_journal;
   ]

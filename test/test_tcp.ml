@@ -177,6 +177,8 @@ let info_at ?(bytes_acked = 0) ?(app_limited_s = 0.0) ?(elapsed_s = 0.0) at =
     app_limited_s;
     rwnd_limited_s = 0.0;
     cwnd_limited_s = 0.0;
+    pacing_limited_s = 0.0;
+    recovery_s = 0.0;
     elapsed_s;
   }
 

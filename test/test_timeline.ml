@@ -417,7 +417,7 @@ let test_chrome_trace_structure () =
     (Scope.with_scope
        (Scope.v ~timeline:tl ~recorder:r ())
        (fun () -> Scenario.run (congested_scenario 42)));
-  let trace = Obs.Chrome_trace.to_string [ ("tl-e2e", Some tl, Some r) ] in
+  let trace = Obs.Chrome_trace.to_string [ ("tl-e2e", Some tl, Some r, None) ] in
   match Offline.json_of_string trace with
   | Offline.Arr events ->
       Alcotest.(check bool) "non-empty" true (events <> []);
@@ -458,6 +458,85 @@ let test_chrome_trace_structure () =
       Alcotest.(check bool) "instant events" true (!instants > 0)
   | _ -> Alcotest.fail "trace is not a JSON array"
 
+(* Golden trace over hand-built instruments: pins the exact field order
+   of every event class (counter, instant, span phases, process span,
+   metadata) and the global stable sort on (ts, pid, tid). Any exporter
+   change that reshapes the document must update this string. *)
+let test_chrome_trace_golden () =
+  let tl = Timeline.create () in
+  let s = Timeline.series tl ~labels:[ ("flow", "a") ] "goodput" in
+  Timeline.record s ~time:1.0 ~value:2.0;
+  Timeline.record s ~time:3.0 ~value:4.0;
+  let r = Recorder.create () in
+  Recorder.record r ~at:2.0 ~kind:"qdisc" ~point:"bottleneck" ~fields:[ ("uid", "5") ]
+    "drop";
+  let sp = Obs.Span.create ~sample:1 () in
+  Obs.Span.note_enqueue sp ~hop:"bottleneck" ~at:1.5 ~uid:0 ~flow:1 ~seq:2 ~bytes:1500
+    ~kind:"data";
+  Obs.Span.note_dequeue sp ~hop:"bottleneck" ~at:1.75 ~uid:0;
+  Obs.Span.note_tx sp ~hop:"bottleneck" ~at:2.0 ~uid:0;
+  Obs.Span.note_delivered sp ~hop:"bottleneck" ~at:2.5 ~uid:0;
+  let trace = Obs.Chrome_trace.to_string [ ("job", Some tl, Some r, Some sp) ] in
+  let expected =
+    String.concat ",\n"
+      [
+        "[\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"job\"}}";
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,\"args\":{\"name\":\"hop: bottleneck\"}}";
+        "{\"name\":\"job\",\"ph\":\"X\",\"ts\":1000000.000,\"dur\":2000000.000,\"pid\":1,\"tid\":0}";
+        "{\"name\":\"goodput{flow=a}\",\"ph\":\"C\",\"ts\":1000000.000,\"pid\":1,\"args\":{\"value\":2}}";
+        "{\"name\":\"queue\",\"ph\":\"X\",\"ts\":1500000.000,\"dur\":250000.000,\"pid\":1,\"tid\":2,\"args\":{\"hop\":\"bottleneck\",\"uid\":0,\"flow\":1,\"seq\":2,\"kind\":\"data\",\"outcome\":\"delivered\"}}";
+        "{\"name\":\"serialize\",\"ph\":\"X\",\"ts\":1750000.000,\"dur\":250000.000,\"pid\":1,\"tid\":2,\"args\":{\"hop\":\"bottleneck\",\"uid\":0,\"flow\":1,\"seq\":2,\"kind\":\"data\",\"outcome\":\"delivered\"}}";
+        "{\"name\":\"qdisc:drop\",\"ph\":\"i\",\"ts\":2000000.000,\"pid\":1,\"tid\":1,\"s\":\"p\",\"args\":{\"point\":\"bottleneck\",\"severity\":\"info\",\"uid\":\"5\"}}";
+        "{\"name\":\"propagate\",\"ph\":\"X\",\"ts\":2000000.000,\"dur\":500000.000,\"pid\":1,\"tid\":2,\"args\":{\"hop\":\"bottleneck\",\"uid\":0,\"flow\":1,\"seq\":2,\"kind\":\"data\",\"outcome\":\"delivered\"}}";
+        "{\"name\":\"goodput{flow=a}\",\"ph\":\"C\",\"ts\":3000000.000,\"pid\":1,\"args\":{\"value\":4}}\n]\n";
+      ]
+  in
+  Alcotest.(check string) "golden trace" expected trace
+
+let test_spans_e2e () =
+  (* A congested scenario with every packet sampled: spans cover every
+     hop, completed spans decompose, and arming spans does not change
+     the scenario's results. *)
+  let plain = Scenario.run (congested_scenario 11) in
+  let sp = Obs.Span.create ~sample:1 () in
+  let instrumented =
+    Scope.with_scope
+      (Scope.v ~span:sp ())
+      (fun () -> Scenario.run (congested_scenario 11))
+  in
+  Alcotest.(check int) "drops identical" plain.Results.bottleneck_drops
+    instrumented.Results.bottleneck_drops;
+  Alcotest.(check (float 1e-9)) "jain identical" plain.Results.jain_index
+    instrumented.Results.jain_index;
+  Alcotest.(check bool) "spans recorded" true (Obs.Span.completed_count sp > 0);
+  Alcotest.(check int) "all records closed" 0 (Obs.Span.open_count sp);
+  let records = Obs.Span.completed sp in
+  let hops =
+    List.sort_uniq compare (List.map (fun (r : Obs.Span.record) -> r.Obs.Span.hop) records)
+  in
+  Alcotest.(check bool) "bottleneck hop covered" true (List.mem "bottleneck" hops);
+  Alcotest.(check bool) "edge hops covered" true (List.mem "edge:0" hops);
+  (* The scenario dropped packets, so some spans must be Dropped; and
+     complete spans must have non-negative phases. *)
+  let dropped =
+    List.exists
+      (fun (r : Obs.Span.record) ->
+        Obs.Span.outcome_to_string r.Obs.Span.outcome = "dropped")
+      records
+  in
+  Alcotest.(check bool) "drop spans present" true dropped;
+  List.iter
+    (fun (r : Obs.Span.record) ->
+      if Obs.Span.complete r then begin
+        let nonneg = function Some d -> d >= 0.0 | None -> false in
+        Alcotest.(check bool) "queue phase" true (nonneg (Obs.Span.queue_delay r));
+        Alcotest.(check bool) "serialize phase" true
+          (nonneg (Obs.Span.serialize_delay r));
+        Alcotest.(check bool) "propagate phase" true
+          (nonneg (Obs.Span.propagate_delay r))
+      end)
+    records
+
 (* --- offline reproduction ------------------------------------------------- *)
 
 let test_offline_reproduces_fig3 () =
@@ -489,6 +568,55 @@ let test_offline_reproduces_fig3 () =
         ("verdict: " ^ row.traffic)
         row.classified_elastic off.Offline.classified_elastic)
     rows
+
+let test_explain_agrees_with_fig3 () =
+  (* The `ccsim explain` path end to end: run fig3 under a timeline
+     scope, round-trip the series through NDJSON, and check the offline
+     per-flow diagnosis names the same cross-traffic verdict as the
+     online Nimbus detector for every flow of every scenario. *)
+  let duration = 20.0 in
+  let tl = Timeline.create () in
+  let rows =
+    Scope.with_scope
+      (Scope.v ~timeline:tl ())
+      (fun () -> Ccsim_core.Fig3.run ~duration ~seed:42 ())
+  in
+  let series = Offline.of_string (Timeline.to_ndjson tl) in
+  let explained = Offline.explain ~warmup:10.0 ~hi:duration series in
+  Alcotest.(check bool) "non-empty diagnosis" true (explained <> []);
+  List.iter
+    (fun (row : Ccsim_core.Fig3.row) ->
+      let scenario = "fig3/" ^ row.traffic in
+      let flows =
+        List.filter (fun (x : Offline.explain_row) -> x.Offline.ex_scenario = scenario)
+          explained
+      in
+      Alcotest.(check bool) (scenario ^ " has flows") true (flows <> []);
+      let expected =
+        Some (if row.classified_elastic then "elastic" else "inelastic")
+      in
+      List.iter
+        (fun (x : Offline.explain_row) ->
+          Alcotest.(check (option string))
+            (Printf.sprintf "%s/%s verdict" scenario x.Offline.ex_flow)
+            expected x.Offline.ex_verdict)
+        flows;
+      (* The probe is a TCP flow: it must carry limit attribution and
+         contended time over the whole connection. *)
+      match
+        List.find_opt (fun (x : Offline.explain_row) -> x.Offline.ex_flow = "probe") flows
+      with
+      | None -> Alcotest.fail (scenario ^ ": no probe flow in diagnosis")
+      | Some probe ->
+          Alcotest.(check bool) (scenario ^ " probe has a dominant limit") true
+            (probe.Offline.ex_dominant <> "-");
+          Alcotest.(check bool) (scenario ^ " probe contended") true
+            (probe.Offline.ex_contended_s > 0.0))
+    rows;
+  (* The rendered table carries one row per flow. *)
+  let rendered = Offline.render_explain ~warmup:10.0 ~hi:duration series in
+  Alcotest.(check bool) "rendered table mentions the probe" true
+    (contains ~sub:"| probe" rendered)
 
 let test_offline_reproduces_fig2 () =
   let tl = Timeline.create () in
@@ -585,7 +713,12 @@ let suite =
     Alcotest.test_case "e2e: timeline+watchdog do not change results" `Slow
       test_e2e_instrumentation_identical;
     Alcotest.test_case "chrome trace: structurally valid" `Slow test_chrome_trace_structure;
+    Alcotest.test_case "chrome trace: golden field order and sort" `Quick
+      test_chrome_trace_golden;
+    Alcotest.test_case "spans: e2e coverage, results unchanged" `Slow test_spans_e2e;
     Alcotest.test_case "offline: reproduces fig3 verdicts" `Slow test_offline_reproduces_fig3;
+    Alcotest.test_case "offline: explain agrees with fig3" `Slow
+      test_explain_agrees_with_fig3;
     Alcotest.test_case "offline: reproduces fig2 verdicts" `Slow test_offline_reproduces_fig2;
     Alcotest.test_case "watchdog: all experiments pass --check" `Slow
       test_watchdog_all_experiments;
