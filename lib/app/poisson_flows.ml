@@ -79,7 +79,7 @@ let start sim topo ~rng ~arrival_rate ?(mean_size_bytes = 30_000.0) ?(pareto_sha
   t
 
 let flows t = List.rev t.flows
-let completed t = List.filter (fun r -> r.finished <> None) (flows t)
+let completed t = List.filter (fun r -> Option.is_some r.finished) (flows t)
 let spawn_count t = t.spawned
 
 let fraction_within_initial_window t =

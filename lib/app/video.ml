@@ -48,7 +48,7 @@ let request_chunk t =
   let now = Sim.now t.sim in
   if now < t.stop then begin
     let rate = choose_rate t in
-    if t.chunks > 0 && rate <> t.last_rate then t.switches <- t.switches + 1;
+    if t.chunks > 0 && not (Float.equal rate t.last_rate) then t.switches <- t.switches + 1;
     t.last_rate <- rate;
     t.bitrate_sum <- t.bitrate_sum +. rate;
     Ccsim_util.Timeseries.add t.bitrate_series ~time:now ~value:rate;
@@ -86,7 +86,7 @@ let start sim ~sender ?(ladder_bps = default_ladder_bps) ?(chunk_duration = 2.0)
     ?(max_buffer_s = 30.0) ?(low_buffer_s = 5.0) ?(safety = 0.8) ?(stop = infinity) () =
   if Array.length ladder_bps = 0 then invalid_arg "Video.start: empty ladder";
   let ladder = Array.copy ladder_bps in
-  Array.sort compare ladder;
+  Array.sort Float.compare ladder;
   let t =
     {
       sim;

@@ -152,7 +152,7 @@ let create ?(mss = Ccsim_util.Units.mss) ?initial_cwnd () =
   let on_loss (_ : Cca.loss_info) = () in
   let on_rto ~now =
     (* Severe signal: restart the model conservatively. *)
-    if !mode <> Startup then note_switch ~now Startup;
+    (match !mode with Startup -> () | _ -> note_switch ~now Startup);
     mode := Startup;
     full_bw := 0.0;
     full_bw_count := 0;

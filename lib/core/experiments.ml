@@ -94,7 +94,7 @@ let all =
         P1_prevalence.(render (run ?n ~seed ~backend ())));
   ]
 
-let find id = List.find_opt (fun e -> e.id = id) all
+let find id = List.find_opt (fun e -> String.equal e.id id) all
 
 let effective_params e ?backend ?duration ?n ~seed () =
   let main =

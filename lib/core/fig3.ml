@@ -66,7 +66,7 @@ let run ?(duration = 45.0) ?(seed = 42) () =
       let cross_goodput =
         List.fold_left
           (fun acc (f : Results.flow_result) ->
-            if f.label = "probe" then acc else acc +. f.goodput_bps)
+            if String.equal f.label "probe" then acc else acc +. f.goodput_bps)
           0.0 result.flows
       in
       {

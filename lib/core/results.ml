@@ -39,7 +39,7 @@ and short_flow_stats = {
 }
 
 let find t label =
-  match List.find_opt (fun f -> f.label = label) t.flows with
+  match List.find_opt (fun f -> String.equal f.label label) t.flows with
   | Some f -> f
   | None -> raise Not_found
 

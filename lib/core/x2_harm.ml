@@ -32,7 +32,7 @@ let run ?(duration = 40.0) ?(seed = 42) () =
       let solo = List.assoc victim_name solos in
       List.filter_map
         (fun (contender_name, contender_cca) ->
-          if contender_name = victim_name then None
+          if String.equal contender_name victim_name then None
           else begin
             let scenario =
               Scenario.make

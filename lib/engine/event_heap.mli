@@ -27,6 +27,22 @@ val cancelled : id -> bool
     {!cancel} on it would be a no-op. Lets the profiler count only
     live cancellations. *)
 
+exception Empty
+
+val pop_exn : 'a t -> 'a
+(** Remove and return the earliest non-cancelled event's payload,
+    raising {!Empty} when none is left. Allocation-free: the event's
+    time is read back through {!last_time}. This is the engine loop's
+    path; {!pop} wraps it for option-style callers. *)
+
+val last_time : 'a t -> float
+(** Time of the event most recently removed by {!pop_exn} (or {!pop});
+    [nan] before the first removal. *)
+
+val next_time : 'a t -> float
+(** Time of the earliest non-cancelled event, or [infinity] when the
+    heap has none left — the allocation-free {!peek_time}. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest non-cancelled event, or [None] when
     the heap has none left. *)

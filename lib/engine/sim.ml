@@ -4,7 +4,9 @@ type event_id = Event_heap.id
 
 type t = {
   heap : (unit -> unit) Event_heap.t;
-  mutable clock : float;
+  clock : float array;
+      (* one unboxed slot: a mutable float field in this mixed record
+         would box on every per-event store *)
   mutable stopped : bool;
   profile : Obs.Profile.t option;
   mutable component : string;
@@ -52,12 +54,12 @@ let install_driver t ~interval ~comp f =
     if Event_heap.size t.heap > t.driver_pending then begin
       t.driver_pending <- t.driver_pending + 1;
       note_tick ();
-      ignore (Event_heap.add t.heap ~time:(t.clock +. interval) tick)
+      ignore (Event_heap.add t.heap ~time:(t.clock.(0) +. interval) tick)
     end
   in
   t.driver_pending <- t.driver_pending + 1;
   note_tick ();
-  ignore (Event_heap.add t.heap ~time:(t.clock +. interval) tick)
+  ignore (Event_heap.add t.heap ~time:(t.clock.(0) +. interval) tick)
 
 let periodic_driver t ~interval ~comp f =
   if interval <= 0.0 then invalid_arg "Sim.periodic_driver: interval must be positive";
@@ -65,7 +67,7 @@ let periodic_driver t ~interval ~comp f =
 
 let sample_probes t () =
   List.iter
-    (fun (s, probe) -> Obs.Timeline.record s ~time:t.clock ~value:(probe ()))
+    (fun (s, probe) -> Obs.Timeline.record s ~time:t.clock.(0) ~value:(probe ()))
     (List.rev t.probes)
 
 let create ?profile ?timeline ?watchdog () =
@@ -90,7 +92,7 @@ let create ?profile ?timeline ?watchdog () =
   let t =
     {
       heap = Event_heap.create ();
-      clock = 0.0;
+      clock = Array.make 1 0.0;
       stopped = false;
       profile;
       heap_hist;
@@ -112,11 +114,11 @@ let create ?profile ?timeline ?watchdog () =
   (match watchdog with
   | Some w ->
       install_driver t ~interval:(Obs.Watchdog.interval w) ~comp:"watchdog" (fun () ->
-          Obs.Watchdog.check_now w ~now:t.clock)
+          Obs.Watchdog.check_now w ~now:t.clock.(0))
   | None -> ());
   t
 
-let now t = t.clock
+let now t = t.clock.(0)
 let profile t = t.profile
 let timeline t = t.timeline
 let watchdog t = t.watchdog
@@ -142,17 +144,17 @@ let note_scheduled t =
   | None -> ()
   | Some p -> Ccsim_obs.Profile.note_scheduled p ~comp:t.component
 
-let schedule_at t ~time f =
-  if time < t.clock then invalid_arg "Sim.schedule_at: time precedes the clock";
+let[@ccsim.hot] schedule_at t ~time f =
+  if time < t.clock.(0) then invalid_arg "Sim.schedule_at: time precedes the clock";
   note_scheduled t;
   Event_heap.add t.heap ~time f
 
-let schedule t ~delay f =
+let[@ccsim.hot] schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
   note_scheduled t;
-  Event_heap.add t.heap ~time:(t.clock +. delay) f
+  Event_heap.add t.heap ~time:(t.clock.(0) +. delay) f
 
-let cancel t id =
+let[@ccsim.hot] cancel t id =
   (match t.profile with
   | None -> ()
   | Some p ->
@@ -160,17 +162,19 @@ let cancel t id =
         Ccsim_obs.Profile.note_cancelled p ~comp:t.component);
   Event_heap.cancel t.heap id
 
-let step t =
-  match Event_heap.pop t.heap with
-  | None -> false
-  | Some (time, f) ->
+let[@ccsim.hot] step t =
+  match Event_heap.pop_exn t.heap with
+  | exception Event_heap.Empty -> false
+  | f ->
+      let time = Event_heap.last_time t.heap in
       (match t.watchdog with
-      | Some w when time < t.clock ->
-          Obs.Watchdog.violate w ~now:t.clock ~component:"engine"
-            ~invariant:"time_monotonicity"
-            (Printf.sprintf "event at t=%.9f precedes the clock at t=%.9f" time t.clock)
+      | Some w when time < t.clock.(0) ->
+          (Obs.Watchdog.violate w ~now:t.clock.(0) ~component:"engine"
+             ~invariant:"time_monotonicity"
+             (Printf.sprintf "event at t=%.9f precedes the clock at t=%.9f" time t.clock.(0))
+          [@ccsim.alloc_ok "cold branch: runs only on a time-monotonicity violation"])
       | Some _ | None -> ());
-      t.clock <- time;
+      t.clock.(0) <- time;
       (match t.heap_hist with
       | None -> ()
       | Some h -> Obs.Metrics.observe h (float_of_int (Event_heap.size t.heap + 1)));
@@ -186,7 +190,7 @@ let step t =
             ~seconds:(Ccsim_obs.Profile.wall_now () -. t0));
       true
 
-let poll_deadline t =
+let[@ccsim.hot] poll_deadline t =
   match t.deadline with
   | None -> ()
   | Some d ->
@@ -199,24 +203,32 @@ let poll_deadline t =
         end
       end
 
+(* The inner event loop: peek through the alloc-free [next_time]
+   (infinity sentinel), execute, poll the deadline. Top-level recursion
+   rather than a [while]/[ref] so the hot region allocates nothing. *)
+let[@ccsim.hot] rec run_loop t ~horizon =
+  if not t.stopped then begin
+    let time = Event_heap.next_time t.heap in
+    (* [next_time] = infinity means an empty heap — unless an event is
+       genuinely scheduled at infinity, which [is_empty] distinguishes. *)
+    if time > horizon || Event_heap.is_empty t.heap then ()
+    else begin
+      ignore (step t);
+      poll_deadline t;
+      run_loop t ~horizon
+    end
+  end
+
 let run ?until t =
   t.stopped <- false;
   let horizon = match until with None -> infinity | Some u -> u in
-  let continue = ref true in
-  while !continue && not t.stopped do
-    match Event_heap.peek_time t.heap with
-    | None -> continue := false
-    | Some time when time > horizon -> continue := false
-    | Some _ ->
-        ignore (step t);
-        poll_deadline t
-  done;
+  run_loop t ~horizon;
   (match until with
-  | Some u when t.clock < u && not t.stopped -> t.clock <- u
+  | Some u when t.clock.(0) < u && not t.stopped -> t.clock.(0) <- u
   | Some _ | None -> ());
   (match t.profile with
   | Some p ->
-      Ccsim_obs.Profile.note_sim_time p t.clock;
+      Ccsim_obs.Profile.note_sim_time p t.clock.(0);
       (* Close the allocation-sampling window so the Gc totals cover
          the whole run, not just the last full window. *)
       Ccsim_obs.Profile.gc_flush p
@@ -224,12 +236,12 @@ let run ?until t =
   (* Packets still queued or on the wire when the run ends become
      incomplete spans rather than leaking open records. *)
   (match t.span with
-  | Some s -> Obs.Span.seal s ~now:t.clock
+  | Some s -> Obs.Span.seal s ~now:t.clock.(0)
   | None -> ());
   (* A final sweep so violations between the last periodic check and the
      end of the run still fail it. *)
   match t.watchdog with
-  | Some w -> Obs.Watchdog.check_now w ~now:t.clock
+  | Some w -> Obs.Watchdog.check_now w ~now:t.clock.(0)
   | None -> ()
 
 let pending t = Event_heap.size t.heap
@@ -238,11 +250,11 @@ let deadline_hit t = t.deadline_hit
 
 let every t ~interval ?start ?(stop_after = infinity) f =
   if interval <= 0.0 then invalid_arg "Sim.every: interval must be positive";
-  let first = match start with None -> t.clock +. interval | Some s -> s in
+  let first = match start with None -> t.clock.(0) +. interval | Some s -> s in
   let rec tick () =
-    if t.clock <= stop_after then begin
+    if t.clock.(0) <= stop_after then begin
       f ();
-      if t.clock +. interval <= stop_after then ignore (schedule t ~delay:interval tick)
+      if t.clock.(0) +. interval <= stop_after then ignore (schedule t ~delay:interval tick)
     end
   in
   if first <= stop_after then ignore (schedule_at t ~time:first tick)

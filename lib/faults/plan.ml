@@ -204,7 +204,7 @@ let parse_clause clause =
           let* () = check_time clause "at" at_s in
           let* () = check_dur clause dur_s in
           let* () = check_p clause "p" p in
-          if kind = "corrupt" then Ok (Some (Corrupt { at_s; dur_s; p }))
+          if String.equal kind "corrupt" then Ok (Some (Corrupt { at_s; dur_s; p }))
           else Ok (Some (Duplicate { at_s; dur_s; p }))
       | "reorder" ->
           let* () = keys [ "at"; "dur"; "p"; "delay" ] in

@@ -24,6 +24,12 @@ type flow_id = int
    queue pegs; residual overflow past the buffer is dropped and
    accounted but (like real tail drops under a ramp AQM) is a corner
    case. *)
+(* slots of [totals_b] *)
+let ti_offered = 0
+let ti_served = 1
+let ti_dropped = 2
+let ti_q = 3
+
 let loss_theta = 0.80
 let loss_p_max = 0.25
 
@@ -73,10 +79,10 @@ type t = {
   mutable xs : float array;  (* scratch: per-flow instantaneous rate *)
   mutable ws : U.Ode.workspace option;
   (* running totals (kept incrementally so invariant checks are O(1)) *)
-  mutable t_offered_b : float;
-  mutable t_served_b : float;
-  mutable t_dropped_b : float;
-  mutable t_q_b : float;
+  totals_b : float array;
+      (* engine-wide byte totals in unboxed slots (offered, served,
+         dropped, queued — see the ti_ indices): mutable float fields here would
+         box on every per-link, per-step accumulation *)
   (* observability *)
   profile : Obs.Profile.t option;
       (* standalone [run] charges each ODE step to component "fluid";
@@ -149,10 +155,7 @@ let create ?(dt_s = default_dt_s) ?(method_ = `Euler) ?(warmup_s = 0.0)
       f_good_b = [||];
       xs = [||];
       ws = None;
-      t_offered_b = 0.0;
-      t_served_b = 0.0;
-      t_dropped_b = 0.0;
-      t_q_b = 0.0;
+      totals_b = Array.make 4 0.0;
       profile = scope.Obs.Scope.profile;
       watchdog = scope.Obs.Scope.watchdog;
       tl_arrival = series "fluid_arrival_bps";
@@ -173,15 +176,17 @@ let create ?(dt_s = default_dt_s) ?(method_ = `Euler) ?(warmup_s = 0.0)
          noise across millions of link-steps, nothing more. *)
       Obs.Watchdog.register w ~component:"fluid" ~invariant:"byte_conservation" (fun () ->
           let residue =
-            t.t_offered_b -. t.t_dropped_b -. t.t_served_b -. t.t_q_b
+            t.totals_b.(ti_offered) -. t.totals_b.(ti_dropped)
+            -. t.totals_b.(ti_served) -. t.totals_b.(ti_q)
           in
-          let tol = Float.max 1024.0 (1e-6 *. t.t_offered_b) in
+          let tol = Float.max 1024.0 (1e-6 *. t.totals_b.(ti_offered)) in
           if Float.abs residue > tol then
             Some
               (Printf.sprintf
                  "offered=%.0f dropped=%.0f served=%.0f queued=%.0f: residue %.1f bytes \
                   exceeds %.1f"
-                 t.t_offered_b t.t_dropped_b t.t_served_b t.t_q_b residue tol)
+                 t.totals_b.(ti_offered) t.totals_b.(ti_dropped) t.totals_b.(ti_served)
+                 t.totals_b.(ti_q) residue tol)
           else None)
   | None -> ());
   t
@@ -354,7 +359,7 @@ let process_toggles t =
 (* Derivative of the flow-state vector: two flow passes around one link
    pass. The fluid queues are frozen during the step (operator
    splitting); their balance is applied in [settle]. *)
-let deriv t ~t_s:_ ~y ~dy =
+let[@ccsim.hot] deriv t ~t_s:_ ~y ~dy =
   for l = 0 to t.nl - 1 do
     t.l_arr.(l) <- 0.0
   done;
@@ -392,7 +397,7 @@ let deriv t ~t_s:_ ~y ~dy =
 
 (* After the integrator: clamp states, advance the fluid queues from the
    step's arrival/service balance, and account bytes exactly. *)
-let settle t =
+let[@ccsim.hot] settle t =
   let dt = t.dt_s in
   let bbr = Fluid_model.index Fluid_model.Bbr in
   (* clamp + recompute rates and per-link arrival from the final state *)
@@ -444,10 +449,10 @@ let settle t =
     t.l_offered_b.(l) <- t.l_offered_b.(l) +. offered_b;
     t.l_dropped_b.(l) <- t.l_dropped_b.(l) +. dropped_b;
     t.l_served_b.(l) <- t.l_served_b.(l) +. served_b;
-    t.t_offered_b <- t.t_offered_b +. offered_b;
-    t.t_dropped_b <- t.t_dropped_b +. dropped_b;
-    t.t_served_b <- t.t_served_b +. served_b;
-    t.t_q_b <- t.t_q_b +. (q1 -. q);
+    t.totals_b.(ti_offered) <- t.totals_b.(ti_offered) +. offered_b;
+    t.totals_b.(ti_dropped) <- t.totals_b.(ti_dropped) +. dropped_b;
+    t.totals_b.(ti_served) <- t.totals_b.(ti_served) +. served_b;
+    t.totals_b.(ti_q) <- t.totals_b.(ti_q) +. (q1 -. q);
     (* contention: a busy link with at least two active flows where the
        queue signal (loss or >=5 ms of queueing) is doing the
        allocating — the paper's prerequisites, in fluid terms. *)
@@ -471,16 +476,17 @@ let settle t =
       end
     done
 
-let step t =
+let[@ccsim.hot] step t =
   seal t;
   process_toggles t;
   let ws = Option.get t.ws in
-  let f = deriv t in
+  let f = (deriv t [@ccsim.alloc_ok "one integrator-callback closure per fluid step (dt, default 10 ms), not per event"]) in
   (match t.method_ with
   | `Euler -> U.Ode.euler_step ws f ~t_s:t.now_s ~dt_s:t.dt_s t.f_y
   | `Rk4 -> U.Ode.rk4_step ws f ~t_s:t.now_s ~dt_s:t.dt_s t.f_y);
   settle t;
-  t.now_s <- t.now_s +. t.dt_s
+  ((t.now_s <- t.now_s +. t.dt_s)
+  [@ccsim.alloc_ok "one boxed clock store per fluid step, amortized over every flow it advances"])
 
 (* --- standalone run loop --------------------------------------------------- *)
 
@@ -490,8 +496,8 @@ let record_samples t =
     | Some s -> Obs.Timeline.record s ~time:t.now_s ~value
     | None -> ()
   in
-  if t.tl_arrival <> None || t.tl_served <> None || t.tl_queue <> None
-     || t.tl_active <> None || t.tl_contended <> None
+  if Option.is_some t.tl_arrival || Option.is_some t.tl_served || Option.is_some t.tl_queue
+     || Option.is_some t.tl_active || Option.is_some t.tl_contended
   then begin
     let arr = ref 0.0 and served = ref 0.0 and q = ref 0.0 and contended = ref 0 in
     for l = 0 to t.nl - 1 do
@@ -570,13 +576,15 @@ let flow_goodput_bps t i =
 
 let totals t =
   {
-    offered_bytes = t.t_offered_b;
-    served_bytes = t.t_served_b;
-    dropped_bytes = t.t_dropped_b;
-    queued_bytes = t.t_q_b;
+    offered_bytes = t.totals_b.(ti_offered);
+    served_bytes = t.totals_b.(ti_served);
+    dropped_bytes = t.totals_b.(ti_dropped);
+    queued_bytes = t.totals_b.(ti_q);
   }
 
-let residual_bytes t = t.t_offered_b -. t.t_dropped_b -. t.t_served_b -. t.t_q_b
+let residual_bytes t =
+  t.totals_b.(ti_offered) -. t.totals_b.(ti_dropped) -. t.totals_b.(ti_served)
+  -. t.totals_b.(ti_q)
 
 let register_link_invariant t ~component w l =
   check_link t l "Fluid_engine.register_link_invariant";
@@ -594,4 +602,4 @@ let register_link_invariant t ~component w l =
 let inject_accounting_skew t ~link ~bytes =
   check_link t link "Fluid_engine.inject_accounting_skew";
   t.l_served_b.(link) <- t.l_served_b.(link) +. bytes;
-  t.t_served_b <- t.t_served_b +. bytes
+  t.totals_b.(ti_served) <- t.totals_b.(ti_served) +. bytes

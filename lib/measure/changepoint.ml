@@ -24,7 +24,7 @@ let default_penalty signal =
        is N(0, sigma*sqrt 2) away from change points, and the median of
        |N(0, s)| is 0.6745 s. *)
     let diffs = Array.init (n - 1) (fun i -> Float.abs (signal.(i + 1) -. signal.(i))) in
-    Array.sort compare diffs;
+    Array.sort Float.compare diffs;
     let med = diffs.(Array.length diffs / 2) in
     let sigma = med /. (0.6745 *. sqrt 2.0) in
     let sigma2 = Float.max (sigma *. sigma) 1e-9 in

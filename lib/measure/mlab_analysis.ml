@@ -2,6 +2,12 @@ module U = Ccsim_util
 
 type category = App_limited | Rwnd_limited | Cellular | Candidate
 
+let category_equal a b =
+  match (a, b) with
+  | App_limited, App_limited | Rwnd_limited, Rwnd_limited -> true
+  | Cellular, Cellular | Candidate, Candidate -> true
+  | _ -> false
+
 type verdict = {
   record : Ndt.record;
   category : category;
@@ -27,7 +33,7 @@ type report = {
 let categorize ?(limited_threshold = 0.0) (r : Ndt.record) =
   if r.app_limited_frac > limited_threshold then App_limited
   else if r.rwnd_limited_frac > limited_threshold then Rwnd_limited
-  else if r.access = Ndt.Cellular then Cellular
+  else if Ndt.access_equal r.access Ndt.Cellular then Cellular
   else Candidate
 
 let analyze_record ?(shift_threshold = 0.2) ?limited_threshold ?penalty_scale (r : Ndt.record)
@@ -56,7 +62,7 @@ let analyze_record ?(shift_threshold = 0.2) ?limited_threshold ?penalty_scale (r
         category;
         change_points = changes;
         largest_shift_mbps = shift;
-        contention_consistent = changes <> [] && shift /. mean >= shift_threshold;
+        contention_consistent = (match changes with [] -> false | _ :: _ -> true) && shift /. mean >= shift_threshold;
       }
 
 let analyze ?shift_threshold ?limited_threshold ?penalty_scale records =
@@ -65,9 +71,9 @@ let analyze ?shift_threshold ?limited_threshold ?penalty_scale records =
   in
   let count p = List.length (List.filter p verdicts) in
   let total = List.length verdicts in
-  let n_candidates = count (fun v -> v.category = Candidate) in
+  let n_candidates = count (fun v -> category_equal v.category Candidate) in
   let n_consistent = count (fun v -> v.contention_consistent) in
-  let candidates = List.filter (fun v -> v.category = Candidate) verdicts in
+  let candidates = List.filter (fun v -> category_equal v.category Candidate) verdicts in
   let cdf_of f =
     match candidates with
     | [] -> None
@@ -75,9 +81,9 @@ let analyze ?shift_threshold ?limited_threshold ?penalty_scale records =
   in
   {
     total;
-    n_app_limited = count (fun v -> v.category = App_limited);
-    n_rwnd_limited = count (fun v -> v.category = Rwnd_limited);
-    n_cellular = count (fun v -> v.category = Cellular);
+    n_app_limited = count (fun v -> category_equal v.category App_limited);
+    n_rwnd_limited = count (fun v -> category_equal v.category Rwnd_limited);
+    n_cellular = count (fun v -> category_equal v.category Cellular);
     n_candidates;
     n_contention_consistent = n_consistent;
     candidate_fraction = (if total = 0 then 0.0 else float_of_int n_candidates /. float_of_int total);

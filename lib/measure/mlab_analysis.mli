@@ -16,6 +16,8 @@
 
 type category = App_limited | Rwnd_limited | Cellular | Candidate
 
+val category_equal : category -> category -> bool
+
 type verdict = {
   record : Ndt.record;
   category : category;

@@ -13,6 +13,8 @@
 
 type access = Fixed | Cellular
 
+val access_equal : access -> access -> bool
+
 type ground_truth =
   | Gt_app_limited
   | Gt_rwnd_limited

@@ -41,7 +41,7 @@ let parse_json s =
   in
   let literal lit v =
     let l = String.length lit in
-    if !pos + l <= n && String.sub s !pos l = lit then begin
+    if !pos + l <= n && String.equal (String.sub s !pos l) lit then begin
       pos := !pos + l;
       v
     end
@@ -111,7 +111,7 @@ let parse_json s =
     | Some '{' ->
         advance ();
         skip_ws ();
-        if peek () = Some '}' then begin
+        if (match peek () with Some '}' -> true | _ -> false) then begin
           advance ();
           Obj []
         end
@@ -137,7 +137,7 @@ let parse_json s =
     | Some '[' ->
         advance ();
         skip_ws ();
-        if peek () = Some ']' then begin
+        if (match peek () with Some ']' -> true | _ -> false) then begin
           advance ();
           Arr []
         end
@@ -188,7 +188,7 @@ let of_string content =
   String.split_on_char '\n' content
   |> List.iter (fun line ->
          incr line_no;
-         if String.trim line <> "" then begin
+         if not (String.equal (String.trim line) "") then begin
            let fields =
              match parse_json line with
              | Obj fields -> fields
@@ -263,7 +263,7 @@ let load path =
   in
   of_string content
 
-let filter t ~name = List.filter (fun s -> s.name = name) t
+let filter t ~name = List.filter (fun s -> String.equal s.name name) t
 
 let flow_id s =
   match
@@ -298,7 +298,7 @@ let changepoint_of ?(shift_threshold = 0.2) s =
     change_points = changes;
     largest_shift = shift;
     mean;
-    contention_consistent = changes <> [] && shift /. Float.max 1e-9 mean >= shift_threshold;
+    contention_consistent = (match changes with [] -> false | _ :: _ -> true) && shift /. Float.max 1e-9 mean >= shift_threshold;
   }
 
 (* --- elasticity classification (fig3's rule, offline) ------------------- *)
@@ -410,7 +410,7 @@ let explain ?(warmup = 0.0) ?(hi = infinity) ?(threshold = 0.5) t =
         g
   in
   let flow_of g name =
-    match List.find_opt (fun f -> f.fa_flow = name) g.ga_flows with
+    match List.find_opt (fun f -> String.equal f.fa_flow name) g.ga_flows with
     | Some f -> f
     | None ->
         let f =
@@ -432,7 +432,7 @@ let explain ?(warmup = 0.0) ?(hi = infinity) ?(threshold = 0.5) t =
       let scenario =
         match List.assoc_opt "scenario" s.labels with Some sc -> sc | None -> ""
       in
-      if s.name = elasticity_series_name then begin
+      if String.equal s.name elasticity_series_name then begin
         let g = group_of s.job scenario in
         match g.ga_elasticity with
         | Some _ -> ()
@@ -571,7 +571,7 @@ let render_explain ?warmup ?hi ?threshold t =
       List.iter
         (fun r ->
           let scenario =
-            if r.ex_scenario <> "" then r.ex_scenario
+            if not (String.equal r.ex_scenario "") then r.ex_scenario
             else match r.ex_job with Some j -> j | None -> "-"
           in
           U.Table.add_row table
@@ -657,7 +657,7 @@ let render ?(warmup = 0.0) ?(hi = infinity) ?(threshold = 0.5) ?shift_threshold 
         verdicts;
       Buffer.add_string buf (U.Table.render table));
   let other =
-    List.filter (fun s -> s.name <> ndt_series_name && s.name <> elasticity_series_name) t
+    List.filter (fun s -> not (String.equal s.name ndt_series_name) && not (String.equal s.name elasticity_series_name)) t
   in
   (match other with
   | [] -> ()
@@ -683,7 +683,7 @@ let render ?(warmup = 0.0) ?(hi = infinity) ?(threshold = 0.5) ?shift_threshold 
           let label_cell =
             String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) s.labels)
           in
-          let id = if label_cell = "" then s.name else s.name ^ "{" ^ label_cell ^ "}" in
+          let id = if String.equal label_cell "" then s.name else s.name ^ "{" ^ label_cell ^ "}" in
           U.Table.add_row table
             [
               id;

@@ -14,7 +14,7 @@ let weighted weight t =
 
 let node ~name ?(weight = 1.0) children =
   if weight <= 0.0 then invalid_arg "Rcs.node: weight must be positive";
-  if children = [] then invalid_arg "Rcs.node: needs at least one child";
+  if (match children with [] -> true | _ :: _ -> false) then invalid_arg "Rcs.node: needs at least one child";
   Node { name; weight; children }
 
 let name = function Leaf { name; _ } | Node { name; _ } -> name
@@ -32,7 +32,7 @@ let rec collect_names acc = function
 let allocate ~capacity_bps tree =
   if capacity_bps < 0.0 then invalid_arg "Rcs.allocate: negative capacity";
   let names = collect_names [] tree in
-  let sorted = List.sort_uniq compare names in
+  let sorted = List.sort_uniq String.compare names in
   if List.length sorted <> List.length names then
     invalid_arg "Rcs.allocate: duplicate leaf names";
   let rec go grant tree acc =

@@ -26,7 +26,7 @@ let create ?(limit_bytes = default_limit_bytes) ?limit_packets () =
                      (Queue.length queue) p)
             | Some _ | None -> None)
   | None -> ());
-  let enqueue (pkt : Packet.t) =
+  let[@ccsim.hot] enqueue (pkt : Packet.t) =
     let over_packets =
       match limit_packets with Some p -> Queue.length queue >= p | None -> false
     in
@@ -35,19 +35,21 @@ let create ?(limit_bytes = default_limit_bytes) ?limit_packets () =
       false
     end
     else begin
-      Queue.push pkt queue;
+      (Queue.push pkt queue
+      [@ccsim.alloc_ok "backlog queue cell, one per enqueued packet"]);
       bytes := !bytes + pkt.size_bytes;
       stats.enqueued <- stats.enqueued + 1;
       true
     end
   in
-  let dequeue () =
-    match Queue.take_opt queue with
-    | None -> None
-    | Some pkt ->
-        bytes := !bytes - pkt.size_bytes;
-        stats.dequeued <- stats.dequeued + 1;
-        Some pkt
+  let[@ccsim.hot] dequeue () =
+    (match Queue.take_opt queue with
+     | None -> None
+     | Some pkt ->
+         bytes := !bytes - pkt.size_bytes;
+         stats.dequeued <- stats.dequeued + 1;
+         Some pkt)
+    [@ccsim.alloc_ok "the qdisc interface hands the dequeued packet back as an option"]
   in
   {
     Qdisc.name = "fifo";

@@ -102,7 +102,9 @@ type t = {
   qdisc : Qdisc.t;
   sink : Packet.t -> unit;
   mutable busy : bool;
-  mutable busy_seconds : float;
+  busy_seconds : float array;
+      (* one unboxed slot: a mutable float field in this mixed record
+         would box on every per-packet accumulation *)
   mutable bytes_delivered : int;
   obs : obs;
   profile : Obs.Profile.t option;
@@ -143,7 +145,7 @@ let create sim ?(name = "link") ~rate_bps ~delay_s ?qdisc ~sink () =
   in
   let obs =
     match scope.Obs.Scope.metrics with
-    | None when scope.Obs.Scope.recorder = None -> no_obs
+    | None when Option.is_none scope.Obs.Scope.recorder -> no_obs
     | m ->
         let counter name = Option.map (fun m -> Obs.Metrics.counter m name) m in
         let gauge name = Option.map (fun m -> Obs.Metrics.gauge m name) m in
@@ -180,7 +182,7 @@ let create sim ?(name = "link") ~rate_bps ~delay_s ?qdisc ~sink () =
       qdisc;
       sink;
       busy = false;
-      busy_seconds = 0.0;
+      busy_seconds = Array.make 1 0.0;
       bytes_delivered = 0;
       obs;
       profile = scope.Obs.Scope.profile;
@@ -236,7 +238,7 @@ let create sim ?(name = "link") ~rate_bps ~delay_s ?qdisc ~sink () =
 let note_delivery t (pkt : Packet.t) =
   (match t.obs.tx_bytes with Some c -> Obs.Metrics.add c pkt.size_bytes | None -> ());
   (match t.obs.tx_packets with Some c -> Obs.Metrics.inc c | None -> ());
-  (match t.obs.busy_seconds_g with Some g -> Obs.Metrics.set g t.busy_seconds | None -> ());
+  (match t.obs.busy_seconds_g with Some g -> Obs.Metrics.set g t.busy_seconds.(0) | None -> ());
   match t.obs.recorder with
   | Some r ->
       Obs.Recorder.record r
@@ -297,7 +299,7 @@ let span_note_wire_drop t (pkt : Packet.t) =
 (* Per-packet wire-loss draw: advances the Gilbert–Elliott chain (if
    configured) and returns whether this packet is lost on the wire.
    Only called with an impairment whose rng is installed. *)
-let wire_lost imp rng =
+let[@ccsim.hot] wire_lost imp rng =
   match imp.loss with
   | None -> false
   | Some (Uniform { p }) -> p > 0.0 && Ccsim_util.Rng.bernoulli rng ~p
@@ -310,7 +312,7 @@ let wire_lost imp rng =
       let p = if imp.ge_bad then loss_bad else loss_good in
       p > 0.0 && Ccsim_util.Rng.bernoulli rng ~p
 
-let rec transmit_next t =
+let[@ccsim.hot] rec transmit_next t =
   let down = match t.imp with Some imp -> imp.down | None -> false in
   if down then t.busy <- false
   else
@@ -328,29 +330,31 @@ let rec transmit_next t =
           Ccsim_util.Units.seconds_to_transmit ~size_bytes:pkt.Packet.size_bytes
             ~rate_bps:effective_bps
         in
-        t.busy_seconds <- t.busy_seconds +. tx_time;
-        (match t.flow_busy with
-        | Some tbl -> (
-            match Hashtbl.find_opt tbl pkt.Packet.flow with
-            | Some r -> r := !r +. tx_time
-            | None -> Hashtbl.add tbl pkt.Packet.flow (ref tx_time))
-        | None -> ());
+        t.busy_seconds.(0) <- t.busy_seconds.(0) +. tx_time;
+        ((match t.flow_busy with
+         | Some tbl -> (
+             match Hashtbl.find_opt tbl pkt.Packet.flow with
+             | Some r -> r := !r +. tx_time
+             | None -> Hashtbl.add tbl pkt.Packet.flow (ref tx_time))
+         | None -> ())
+        [@ccsim.alloc_ok "per-flow busy tracking only allocates when that observability is on"]);
         (match t.wd with
         | Some wd ->
             wd.tx_started_pkts <- wd.tx_started_pkts + 1;
             wd.tx_started_bytes <- wd.tx_started_bytes + pkt.Packet.size_bytes
         | None -> ());
-        ignore
-          (Ccsim_engine.Sim.schedule t.sim ~delay:tx_time (fun () ->
-               Ccsim_engine.Sim.set_component t.sim "link";
-               span_note_tx t pkt;
-               (match t.imp with
-               | None -> deliver t pkt ~extra_delay:0.0 ~duplicate:false
-               | Some imp -> deliver_impaired t imp pkt);
-               transmit_next t))
+        (ignore
+           (Ccsim_engine.Sim.schedule t.sim ~delay:tx_time (fun () ->
+                Ccsim_engine.Sim.set_component t.sim "link";
+                span_note_tx t pkt;
+                (match t.imp with
+                | None -> deliver t pkt ~extra_delay:0.0 ~duplicate:false
+                | Some imp -> deliver_impaired t imp pkt);
+                transmit_next t))
+        [@ccsim.alloc_ok "serialization-complete callback: one closure per packet is the engine's scheduling currency"])
 
 (* The fault-free delivery site, also the tail of the impaired path. *)
-and deliver t (pkt : Packet.t) ~extra_delay ~duplicate =
+and[@ccsim.hot] deliver t (pkt : Packet.t) ~extra_delay ~duplicate =
   t.bytes_delivered <- t.bytes_delivered + pkt.size_bytes;
   (match t.profile with
   | Some p -> Obs.Profile.note_pkt_delivered p
@@ -362,18 +366,20 @@ and deliver t (pkt : Packet.t) ~extra_delay ~duplicate =
   | None -> ());
   note_delivery t pkt;
   let propagation = t.delay_s +. extra_delay in
-  ignore
-    (Ccsim_engine.Sim.schedule t.sim ~delay:propagation (fun () ->
-         Ccsim_engine.Sim.set_component t.sim "link";
-         (* First arrival closes the span; a duplicate ghost's second
-            call finds the record already closed and is ignored. *)
-         span_note_delivered t pkt;
-         t.sink pkt));
+  (ignore
+     (Ccsim_engine.Sim.schedule t.sim ~delay:propagation (fun () ->
+          Ccsim_engine.Sim.set_component t.sim "link";
+          (* First arrival closes the span; a duplicate ghost's second
+             call finds the record already closed and is ignored. *)
+          span_note_delivered t pkt;
+          t.sink pkt))
+  [@ccsim.alloc_ok "propagation callback: one closure per delivered packet is the engine's scheduling currency"]);
   if duplicate then
-    ignore
-      (Ccsim_engine.Sim.schedule t.sim ~delay:propagation (fun () ->
-           Ccsim_engine.Sim.set_component t.sim "link";
-           t.sink pkt))
+    (ignore
+       (Ccsim_engine.Sim.schedule t.sim ~delay:propagation (fun () ->
+            Ccsim_engine.Sim.set_component t.sim "link";
+            t.sink pkt))
+    [@ccsim.alloc_ok "duplicate-ghost callback, armed-fault path only"])
 
 (* Serialization complete under an armed impairment: decide the
    packet's fate. Wire loss and corruption consume wire time but never
@@ -383,16 +389,14 @@ and deliver t (pkt : Packet.t) ~extra_delay ~duplicate =
    (loss, corruption, duplication, reordering) and each draw happens
    only while its fault is armed, so arming one fault never perturbs
    another's stream. *)
-and deliver_impaired t imp (pkt : Packet.t) =
-  let lost, corrupted =
+and[@ccsim.hot] deliver_impaired t imp (pkt : Packet.t) =
+  (* Draws stay tuple-free: the fault path runs per packet. *)
+  let lost = match imp.fault_rng with None -> false | Some rng -> wire_lost imp rng in
+  let corrupted =
     match imp.fault_rng with
-    | None -> (false, false)
+    | None -> false
     | Some rng ->
-        let lost = wire_lost imp rng in
-        let corrupted =
-          (not lost) && imp.corrupt_p > 0.0 && Ccsim_util.Rng.bernoulli rng ~p:imp.corrupt_p
-        in
-        (lost, corrupted)
+        (not lost) && imp.corrupt_p > 0.0 && Ccsim_util.Rng.bernoulli rng ~p:imp.corrupt_p
   in
   if lost || corrupted then begin
     (match t.wd with
@@ -411,19 +415,18 @@ and deliver_impaired t imp (pkt : Packet.t) =
     end
   end
   else begin
-    let duplicate, reorder_delay =
+    let duplicate =
       match imp.fault_rng with
-      | None -> (false, 0.0)
-      | Some rng ->
-          let duplicate =
-            imp.duplicate_p > 0.0 && Ccsim_util.Rng.bernoulli rng ~p:imp.duplicate_p
-          in
-          let reorder_delay =
-            match imp.reorder with
-            | Some (p, extra_s) when p > 0.0 && Ccsim_util.Rng.bernoulli rng ~p -> extra_s
-            | Some _ | None -> 0.0
-          in
-          (duplicate, reorder_delay)
+      | None -> false
+      | Some rng -> imp.duplicate_p > 0.0 && Ccsim_util.Rng.bernoulli rng ~p:imp.duplicate_p
+    in
+    let reorder_delay =
+      match imp.fault_rng with
+      | None -> 0.0
+      | Some rng -> (
+          match imp.reorder with
+          | Some (p, extra_s) when p > 0.0 && Ccsim_util.Rng.bernoulli rng ~p -> extra_s
+          | Some _ | None -> 0.0)
     in
     if duplicate then begin
       imp.wire_duplicated_pkts <- imp.wire_duplicated_pkts + 1;
@@ -436,7 +439,7 @@ and deliver_impaired t imp (pkt : Packet.t) =
     deliver t pkt ~extra_delay:(imp.spike_delay_s +. reorder_delay) ~duplicate
   end
 
-let send t pkt =
+let[@ccsim.hot] send t pkt =
   match t.profile with
   | None -> if t.qdisc.Qdisc.enqueue pkt && not t.busy then transmit_next t
   | Some p ->
@@ -553,6 +556,6 @@ let set_cross_rate_bps t rate =
 let cross_rate_bps t = t.cross_bps
 let delay_s t = t.delay_s
 let qdisc t = t.qdisc
-let busy_seconds t = t.busy_seconds
-let utilization t ~now = if now <= 0.0 then 0.0 else t.busy_seconds /. now
+let busy_seconds t = t.busy_seconds.(0)
+let utilization t ~now = if now <= 0.0 then 0.0 else t.busy_seconds.(0) /. now
 let bytes_delivered t = t.bytes_delivered

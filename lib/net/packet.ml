@@ -81,7 +81,7 @@ let ack ~flow ~ack ?(size_bytes = 64) ?(echo = 0.0) ?(for_retx = false) ?(rwnd =
   }
 
 let end_seq t = t.seq + t.payload_bytes
-let is_data t = t.kind = Data
+let is_data t = match t.kind with Data -> true | Ack -> false
 
 let pp ppf t =
   match t.kind with

@@ -87,7 +87,7 @@ let instrument ?metrics ?recorder ?span ?(hop = "link") ~now (q : Qdisc.t) : Qdi
         let accepted = q.enqueue pkt in
         if accepted then begin
           Option.iter Obs.Metrics.inc m_enq;
-          if m_sojourn <> None then Hashtbl.replace enq_times pkt.Packet.uid (now ());
+          if Option.is_some m_sojourn then Hashtbl.replace enq_times pkt.Packet.uid (now ());
           span_enqueue span ~hop ~now pkt
         end
         else span_tail_drop span ~hop ~now pkt;

@@ -73,8 +73,8 @@ let tap_send t ~point sink pkt =
 let events t = List.of_seq (Queue.to_seq t.buffer)
 let count t = t.total
 let filter t ~f = List.filter f (events t)
-let deliveries_for t ~flow = filter t ~f:(fun e -> e.flow = flow && e.kind = Delivered)
-let drops_for t ~flow = filter t ~f:(fun e -> e.flow = flow && e.kind = Dropped)
+let deliveries_for t ~flow = filter t ~f:(fun e -> e.flow = flow && (match e.kind with Delivered -> true | _ -> false))
+let drops_for t ~flow = filter t ~f:(fun e -> e.flow = flow && (match e.kind with Dropped -> true | _ -> false))
 
 let pp_event ppf e =
   let kind = match e.kind with Sent -> "sent" | Delivered -> "dlvr" | Dropped -> "drop" in

@@ -16,7 +16,7 @@ let num v =
   if not (Float.is_finite v) then "0"
   else
     let s = Printf.sprintf "%.12g" v in
-    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+    if Float.equal (float_of_string s) v then s else Printf.sprintf "%.17g" v
 
 let track_name s =
   match Timeline.labels s with

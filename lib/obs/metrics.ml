@@ -36,7 +36,7 @@ type t = {
 
 let create () = { table = Hashtbl.create 64; order = [] }
 
-let normalize_labels labels = List.sort (fun (a, _) (b, _) -> compare a b) labels
+let normalize_labels labels = List.sort (fun ((a : string), _) (b, _) -> String.compare a b) labels
 
 let register t key instr =
   Hashtbl.add t.table key instr;

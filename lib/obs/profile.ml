@@ -227,7 +227,7 @@ let components t =
   in
   List.sort
     (fun (na, _, sa) (nb, _, sb) ->
-      match compare sb sa with 0 -> compare na nb | c -> c)
+      match Float.compare sb sa with 0 -> String.compare na nb | c -> c)
     rows
 
 let component_stats t =
@@ -238,7 +238,7 @@ let component_stats t =
   in
   List.sort
     (fun (na, (ca : comp)) (nb, cb) ->
-      match compare cb.seconds ca.seconds with 0 -> compare na nb | c -> c)
+      match Float.compare cb.seconds ca.seconds with 0 -> String.compare na nb | c -> c)
     rows
 
 let to_json t =

@@ -42,7 +42,7 @@ let count t = t.total
 let retained t = Queue.length t.buffer
 let evicted t = t.total - Queue.length t.buffer
 let filter t ~f = List.filter f (events t)
-let by_kind t kind = filter t ~f:(fun e -> e.kind = kind)
+let by_kind t kind = filter t ~f:(fun e -> String.equal e.kind kind)
 
 let event_to_ndjson buf ?(extra = []) e =
   Buffer.add_char buf '{';
@@ -56,7 +56,7 @@ let event_to_ndjson buf ?(extra = []) e =
   Printf.bprintf buf "\"at\":%.9f,\"severity\":%s,\"class\":%s,\"point\":%s,\"detail\":%s" e.at
     (Json.str (severity_to_string e.severity))
     (Json.str e.kind) (Json.str e.point) (Json.str e.detail);
-  if e.fields <> [] then
+  if (match e.fields with [] -> false | _ :: _ -> true) then
     Printf.bprintf buf ",\"fields\":%s" (Json.obj_of_strings e.fields);
   Buffer.add_string buf "}\n"
 

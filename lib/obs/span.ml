@@ -74,7 +74,7 @@ let queue_delay r = phase r.t_enq r.t_deq
 let serialize_delay r = phase r.t_deq r.t_tx
 let propagate_delay r = phase r.t_tx r.t_rx
 
-let complete r = (not (Float.is_nan r.t_rx)) && r.outcome = Delivered
+let complete r = (not (Float.is_nan r.t_rx)) && (match r.outcome with Delivered -> true | _ -> false)
 
 let journal t (r : record) ~at =
   match t.recorder with
@@ -180,7 +180,7 @@ let seal t ~now =
   let opens =
     List.sort
       (fun (a : record) b ->
-        match compare a.uid b.uid with 0 -> compare a.hop b.hop | c -> c)
+        match compare a.uid b.uid with 0 -> String.compare a.hop b.hop | c -> c)
       opens
   in
   List.iter (fun r -> finish t r ~at:now Incomplete) opens

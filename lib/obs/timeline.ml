@@ -53,7 +53,7 @@ let next_sim_id t =
   t.sim_ids <- t.sim_ids + 1;
   t.sim_ids
 
-let normalize_labels labels = List.sort (fun (a, _) (b, _) -> compare a b) labels
+let normalize_labels labels = List.sort (fun ((a : string), _) (b, _) -> String.compare a b) labels
 
 let series t ?(labels = []) name =
   let key = { k_name = name; k_labels = normalize_labels labels } in
@@ -107,7 +107,7 @@ let record s ~time ~value =
   if time < s.last_time then begin
     (* Out-of-order samples are dropped but remembered: the watchdog's
        telemetry-ordering invariant reads this flag. *)
-    if !(s.violation) = None then s.violation := Some (s.s_name, s.last_time, time)
+    if Option.is_none !(s.violation) then s.violation := Some (s.s_name, s.last_time, time)
   end
   else begin
     s.last_time <- time;
@@ -130,7 +130,7 @@ let float_rt v =
   if not (Float.is_finite v) then "null"
   else
     let s = Printf.sprintf "%.12g" v in
-    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+    if Float.equal (float_of_string s) v then s else Printf.sprintf "%.17g" v
 
 let line_to buf ?(extra = []) s i =
   Buffer.add_char buf '{';

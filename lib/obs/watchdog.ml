@@ -48,13 +48,13 @@ let checks t = List.length t.checks
 let checks_run t = t.checks_run
 let violation t = t.tripped
 let violations t = List.rev t.noted
-let degraded t = t.policy = Quarantine && t.tripped <> None
+let degraded t = (match t.policy with Quarantine -> Option.is_some t.tripped | Warn | Abort -> false)
 
 let note t v =
-  if t.tripped = None then t.tripped <- Some v;
+  if Option.is_none t.tripped then t.tripped <- Some v;
   let dup =
     List.exists
-      (fun n -> n.component = v.component && n.invariant = v.invariant)
+      (fun n -> String.equal n.component v.component && String.equal n.invariant v.invariant)
       t.noted
   in
   if (not dup) && List.length t.noted < max_violations then t.noted <- v :: t.noted

@@ -2,7 +2,7 @@ type t = { dir : string }
 
 let default_dir () =
   match Sys.getenv_opt "CCSIM_CACHE_DIR" with
-  | Some d when d <> "" -> d
+  | Some d when not (String.equal d "") -> d
   | _ -> "_ccsim_cache"
 
 let rec mkdir_p dir =

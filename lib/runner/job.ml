@@ -7,7 +7,7 @@ let make ~name ~digest run = { name; digest; run }
 let salt = "ccsim-runner/1"
 
 let digest_of_params ~name params =
-  let params = List.sort (fun (a, _) (b, _) -> compare a b) params in
+  let params = List.sort (fun (a, _) (b, _) -> String.compare a b) params in
   let buf = Buffer.create 64 in
   Buffer.add_string buf salt;
   Buffer.add_char buf '\x00';

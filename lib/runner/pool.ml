@@ -26,7 +26,10 @@ let backoff_delay_s config ~digest ~attempt =
     let doublings = min (attempt - 1) 30 in
     let raw = config.backoff_base_s *. (2.0 ** float_of_int doublings) in
     let capped = Float.min config.backoff_cap_s raw in
-    let rng = Ccsim_util.Rng.create (Hashtbl.hash (digest, attempt)) in
+    (* Value-hashing the (digest, attempt) pair is deliberate: the jitter
+       seed must be a stable function of both, and this path runs once per
+       retry, not per event. *)
+    let rng = Ccsim_util.Rng.create ((Hashtbl.hash (digest, attempt)) [@lint.allow R6]) in
     capped *. (0.5 +. Ccsim_util.Rng.float rng 0.5)
   end
 

@@ -1,7 +1,7 @@
 type axis = string * string list
 
 let axis name values =
-  if values = [] then invalid_arg (Printf.sprintf "Sweep.axis %s: no values" name);
+  if (match values with [] -> true | _ :: _ -> false) then invalid_arg (Printf.sprintf "Sweep.axis %s: no values" name);
   (name, values)
 
 let ints name values = axis name (List.map string_of_int values)

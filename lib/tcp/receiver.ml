@@ -116,7 +116,7 @@ let handle_data t (pkt : Packet.t) =
     integrate t ~seq:pkt.seq ~len:pkt.payload_bytes;
     Ccsim_util.Timeseries.add t.receive_times ~time:(Sim.now t.sim)
       ~value:(float_of_int t.rcv_nxt);
-    let in_order = t.rcv_nxt > before && t.ooo = [] in
+    let in_order = t.rcv_nxt > before && (match t.ooo with [] -> true | _ :: _ -> false) in
     if (not t.delayed_ack) || (not in_order) || pkt.ecn_ce then
       (* Immediate ack: per-packet mode, out-of-order data (dupack/SACK
          must not be delayed), or congestion signal. *)
@@ -126,7 +126,7 @@ let handle_data t (pkt : Packet.t) =
       t.pending_echo <- pkt.sent_at;
       t.pending_retx <- pkt.retx;
       if t.unacked_segments >= 2 then send_ack t ~echo:pkt.sent_at ~for_retx:pkt.retx ~ece:false
-      else if t.delack_timer = None then
+      else if Option.is_none t.delack_timer then
         t.delack_timer <-
           Some
             (Sim.schedule t.sim ~delay:0.04 (fun () ->

@@ -17,6 +17,20 @@ type segment = {
 
 type limited = Not_started | App | Rwnd | Cwnd | Pacing | Busy
 
+let limited_equal a b =
+  match (a, b) with
+  | Not_started, Not_started | App, App | Rwnd, Rwnd -> true
+  | Cwnd, Cwnd | Pacing, Pacing | Busy, Busy -> true
+  | _ -> false
+
+let limited_index = function
+  | Not_started -> 0
+  | App -> 1
+  | Rwnd -> 2
+  | Cwnd -> 3
+  | Pacing -> 4
+  | Busy -> 5
+
 type t = {
   sim : Sim.t;
   flow : int;
@@ -48,7 +62,9 @@ type t = {
       (* an ECN echo triggers at most one congestion response per RTT *)
   mutable ecn_responses : int;
   mutable rto_event : Sim.event_id option;
-  mutable pace_next : float;
+  pace_next : float array;
+      (* one unboxed slot: a mutable float field in this mixed record
+         would box on every per-segment store *)
   mutable pace_pending : bool;
   (* statistics *)
   started_at : float;
@@ -56,20 +72,29 @@ type t = {
   mutable bytes_retrans : int;
   mutable segs_retrans : int;
   mutable rto_count : int;
-  mutable last_delivery_rate : float;
-  ack_history : (float * int) Queue.t;  (* (time, delivered) per ack, for rate *)
-  mutable rate_baseline : (float * int) option;
+  last_delivery_rate : float array;  (* one unboxed slot, stored per ack *)
+  (* Delivery-rate window: a flat ring of (time, delivered) samples,
+     one per cumulative ack. The previous representation pushed a
+     boxed tuple through a Queue per ack and threaded the baseline as
+     an option; the ring keeps the times unboxed and the baseline in
+     dedicated slots. *)
+  mutable ah_times : float array;
+  mutable ah_delivered : int array;
+  mutable ah_head : int;
+  mutable ah_len : int;
+  rate_t0 : float array;  (* one unboxed slot; valid when rate_valid *)
+  mutable rate_d0 : int;
+  mutable rate_valid : bool;
   mutable delivered_bytes : int;
       (* bytes known delivered: cumulative acks plus SACKed ranges, each
          counted when first learned (as in Linux's tcp_rate sampler) *)
   (* limited-state accounting *)
   mutable limited_state : limited;
   mutable limited_since : float;
-  mutable app_limited_s : float;
-  mutable rwnd_limited_s : float;
-  mutable cwnd_limited_s : float;
-  mutable pacing_limited_s : float;
-  mutable busy_s : float;
+  limited_s : float array;
+      (* seconds spent in each limited state, indexed by limited_index;
+         float-array storage keeps the per-transition accumulation
+         unboxed (slot 0, Not_started, is never charged) *)
   mutable recovery_since : float;  (* meaningful while in_recovery *)
   mutable recovery_s : float;
   (* observability, resolved from the ambient scope at creation *)
@@ -93,19 +118,15 @@ let min_rtt t = Rtt_estimator.min_rtt t.rtt
 
 (* --- limited-state accounting ------------------------------------------- *)
 
-let account_limited t state =
+let[@ccsim.hot] account_limited t state =
   let now = Sim.now t.sim in
-  if state <> t.limited_state then begin
-    (if state = Cwnd then
-       match t.m_cwnd_limited with Some c -> Obs.Metrics.inc c | None -> ());
-    let elapsed = now -. t.limited_since in
-    (match t.limited_state with
-    | Not_started -> ()
-    | App -> t.app_limited_s <- t.app_limited_s +. elapsed
-    | Rwnd -> t.rwnd_limited_s <- t.rwnd_limited_s +. elapsed
-    | Cwnd -> t.cwnd_limited_s <- t.cwnd_limited_s +. elapsed
-    | Pacing -> t.pacing_limited_s <- t.pacing_limited_s +. elapsed
-    | Busy -> t.busy_s <- t.busy_s +. elapsed);
+  if not (limited_equal state t.limited_state) then begin
+    (match (state, t.m_cwnd_limited) with
+    | Cwnd, Some c -> Obs.Metrics.inc c
+    | _ -> ());
+    let prev = limited_index t.limited_state in
+    if prev > 0 then
+      t.limited_s.(prev) <- t.limited_s.(prev) +. (now -. t.limited_since);
     t.limited_state <- state;
     t.limited_since <- now
   end
@@ -114,13 +135,13 @@ let app_limited_now t = (not t.unlimited) && t.buffered < t.mss
 
 (* --- scoreboard helpers --------------------------------------------------- *)
 
-let remove_from_pipe t seg =
+let[@ccsim.hot] remove_from_pipe t seg =
   if seg.in_pipe then begin
     seg.in_pipe <- false;
     t.pipe_bytes <- t.pipe_bytes - seg.len
   end
 
-let mark_lost t seg =
+let[@ccsim.hot] mark_lost t seg =
   if (not seg.lost) && not seg.sacked then begin
     seg.lost <- true;
     t.lost_bytes <- t.lost_bytes + seg.len;
@@ -133,12 +154,12 @@ let mark_lost t seg =
    below the SACK frontier, and older than ~1.5 smoothed RTTs — without
    it, a lost retransmission would linger until the RTO backstop even
    though acks keep arriving. *)
-let detect_losses t =
+let[@ccsim.hot] detect_losses t =
   let now = Sim.now t.sim in
   let srtt = Rtt_estimator.srtt t.rtt in
   let reorder_window = if srtt > 0.0 then 1.5 *. srtt else 0.1 in
   Queue.iter
-    (fun seg ->
+    ((fun seg ->
       if (not seg.sacked) && not seg.lost then begin
         if seg.retx_count = 0 && seg.seq + seg.len + (3 * t.mss) <= t.highest_sacked then
           mark_lost t seg
@@ -151,6 +172,7 @@ let detect_losses t =
              would otherwise wait for the RTO backstop. *)
           mark_lost t seg
       end)
+    [@ccsim.alloc_ok "one scoreboard-sweep closure per ack, not per segment"])
     t.segments
 
 let enter_recovery t =
@@ -185,11 +207,11 @@ let cancel_rto t =
 
 (* --- transmission ----------------------------------------------------------- *)
 
-let pacing_delay t bytes =
+let[@ccsim.hot] pacing_delay t bytes =
   let rate = t.cca.Cca.pacing_rate in
   if Float.is_finite rate && rate > 0.0 then float_of_int bytes *. 8.0 /. rate else 0.0
 
-let transmit t (seg : segment) ~is_retx =
+let[@ccsim.hot] transmit t (seg : segment) ~is_retx =
   let now = Sim.now t.sim in
   seg.sent_at <- now;
   seg.in_pipe <- true;
@@ -203,10 +225,12 @@ let transmit t (seg : segment) ~is_retx =
     t.segs_retrans <- t.segs_retrans + 1;
     match t.m_retransmits with Some c -> Obs.Metrics.inc c | None -> ()
   end;
-  t.pace_next <- Float.max now t.pace_next +. pacing_delay t seg.len;
+  t.pace_next.(0) <- Float.max now t.pace_next.(0) +. pacing_delay t seg.len;
   t.cca.Cca.on_send ~now ~bytes:seg.len;
-  t.path
-    (Packet.data ~flow:t.flow ~seq:seg.seq ~payload_bytes:seg.len ~retx:is_retx ~sent_at:now ())
+  (t.path
+     (Packet.data ~flow:t.flow ~seq:seg.seq ~payload_bytes:seg.len ~retx:is_retx ~sent_at:now ())
+  [@ccsim.alloc_ok
+    "packet construction: one record (plus optional-argument wrappers) per transmitted packet"])
 
 let next_lost_segment t =
   if t.lost_bytes = 0 then None
@@ -224,15 +248,17 @@ let next_lost_segment t =
     !found
   end
 
-let rec arm_rto t =
+let[@ccsim.hot] rec arm_rto t =
   cancel_rto t;
   if inflight t > 0 && not t.stopped then begin
     let delay = Rtt_estimator.rto t.rtt in
     t.rto_event <-
-      Some
-        (Sim.schedule t.sim ~delay (fun () ->
-             Sim.set_component t.sim "tcp";
-             on_rto t))
+      ((Some
+          (Sim.schedule t.sim ~delay (fun () ->
+               Sim.set_component t.sim "tcp";
+               on_rto t)))
+      [@ccsim.alloc_ok
+        "rearming builds one timer handle and closure per ack; a timer wheel would reorder same-instant events and break replay determinism"])
   end
 
 and on_rto t =
@@ -265,86 +291,80 @@ and on_rto t =
     arm_rto t
   end
 
-and try_send t =
+and schedule_pace t ~now =
+  if not t.pace_pending then begin
+    t.pace_pending <- true;
+    ignore
+      (Sim.schedule t.sim
+         ~delay:(t.pace_next.(0) -. now)
+         ((fun () ->
+            Sim.set_component t.sim "tcp";
+            t.pace_pending <- false;
+            try_send t)
+         [@ccsim.alloc_ok "one pacing-timer closure per pacing stall, not per segment"]))
+  end
+
+(* Recursion rather than a [while]/[ref] loop: the per-ack send burst
+   must not allocate a reference cell just to drive iteration. *)
+and[@ccsim.hot] try_send t =
   if t.stopped then ()
   else begin
-    let continue = ref true in
-    while !continue do
-      let now = Sim.now t.sim in
-      let cwnd_room = t.cca.Cca.cwnd -. float_of_int t.pipe_bytes in
-      let pace_blocked = now < t.pace_next in
-      let schedule_pace () =
-        if not t.pace_pending then begin
-          t.pace_pending <- true;
-          ignore
-            (Sim.schedule t.sim ~delay:(t.pace_next -. now) (fun () ->
-                 Sim.set_component t.sim "tcp";
-                 t.pace_pending <- false;
-                 try_send t))
+    let now = Sim.now t.sim in
+    let cwnd_room = t.cca.Cca.cwnd -. float_of_int t.pipe_bytes in
+    let pace_blocked = now < t.pace_next.(0) in
+    match next_lost_segment t with
+    | Some seg ->
+        if cwnd_room < float_of_int seg.len then account_limited t Cwnd
+        else if pace_blocked then begin
+          account_limited t Pacing;
+          schedule_pace t ~now
         end
-      in
-      match next_lost_segment t with
-      | Some seg ->
-          if cwnd_room < float_of_int seg.len then begin
-            continue := false;
-            account_limited t Cwnd
-          end
-          else if pace_blocked then begin
-            continue := false;
-            account_limited t Pacing;
-            schedule_pace ()
-          end
-          else begin
-            seg.lost <- false;
-            t.lost_bytes <- t.lost_bytes - seg.len;
-            transmit t seg ~is_retx:true;
-            if t.rto_event = None then arm_rto t;
-            account_limited t Busy
-          end
-      | None ->
-          let available = if t.unlimited then t.mss else min t.buffered t.mss in
-          let rwnd_room = t.rwnd - inflight t in
-          if available <= 0 then begin
-            (* No data to send: application-limited even while earlier
-               data is still in flight (Linux's tcp_info semantics). *)
-            continue := false;
-            account_limited t App
-          end
-          else if cwnd_room < float_of_int available then begin
-            continue := false;
-            account_limited t Cwnd
-          end
-          else if rwnd_room < available then begin
-            continue := false;
-            account_limited t Rwnd
-          end
-          else if pace_blocked then begin
-            continue := false;
-            account_limited t Pacing;
-            schedule_pace ()
-          end
-          else begin
-            let seg =
-              {
-                seq = t.snd_nxt;
-                len = available;
-                sent_at = now;
-                retx_count = 0;
-                sacked = false;
-                lost = false;
-                in_pipe = false;
-                delivered_at_send = t.snd_una;
-                app_limited_at_send = false;
-              }
-            in
-            Queue.push seg t.segments;
-            t.snd_nxt <- t.snd_nxt + available;
-            if not t.unlimited then t.buffered <- t.buffered - available;
-            transmit t seg ~is_retx:false;
-            if t.rto_event = None then arm_rto t;
-            account_limited t Busy
-          end
-    done
+        else begin
+          seg.lost <- false;
+          t.lost_bytes <- t.lost_bytes - seg.len;
+          transmit t seg ~is_retx:true;
+          if Option.is_none t.rto_event then arm_rto t;
+          account_limited t Busy;
+          try_send t
+        end
+    | None ->
+        let available = if t.unlimited then t.mss else min t.buffered t.mss in
+        let rwnd_room = t.rwnd - inflight t in
+        if available <= 0 then
+          (* No data to send: application-limited even while earlier
+             data is still in flight (Linux's tcp_info semantics). *)
+          account_limited t App
+        else if cwnd_room < float_of_int available then account_limited t Cwnd
+        else if rwnd_room < available then account_limited t Rwnd
+        else if pace_blocked then begin
+          account_limited t Pacing;
+          schedule_pace t ~now
+        end
+        else begin
+          let seg =
+            ({
+               seq = t.snd_nxt;
+               len = available;
+               sent_at = now;
+               retx_count = 0;
+               sacked = false;
+               lost = false;
+               in_pipe = false;
+               delivered_at_send = t.snd_una;
+               app_limited_at_send = false;
+             }
+            [@ccsim.alloc_ok
+              "per-segment bookkeeping record; it lives on the scoreboard until acked"])
+          in
+          (Queue.push seg t.segments
+          [@ccsim.alloc_ok "scoreboard queue cell, one per segment in flight"]);
+          t.snd_nxt <- t.snd_nxt + available;
+          if not t.unlimited then t.buffered <- t.buffered - available;
+          transmit t seg ~is_retx:false;
+          if Option.is_none t.rto_event then arm_rto t;
+          account_limited t Busy;
+          try_send t
+        end
   end
 
 (* --- ack processing --------------------------------------------------------- *)
@@ -357,27 +377,73 @@ let check_complete t =
     t.on_complete t
   end
 
-let process_sacks t sacks =
+let[@ccsim.hot] process_sacks t sacks =
   List.iter
-    (fun (lo, hi) ->
-      if hi > t.highest_sacked then t.highest_sacked <- hi;
-      Queue.iter
-        (fun seg ->
-          if (not seg.sacked) && seg.seq >= lo && seg.seq + seg.len <= hi then begin
-            seg.sacked <- true;
-            t.delivered_bytes <- t.delivered_bytes + seg.len;
-            if seg.sent_at > t.newest_delivered_sent_at then
-              t.newest_delivered_sent_at <- seg.sent_at;
-            if seg.lost then begin
-              seg.lost <- false;
-              t.lost_bytes <- t.lost_bytes - seg.len
-            end;
-            remove_from_pipe t seg
-          end)
-        t.segments)
+    ((fun (lo, hi) ->
+       if hi > t.highest_sacked then t.highest_sacked <- hi;
+       Queue.iter
+         (fun seg ->
+           if (not seg.sacked) && seg.seq >= lo && seg.seq + seg.len <= hi then begin
+             seg.sacked <- true;
+             t.delivered_bytes <- t.delivered_bytes + seg.len;
+             if seg.sent_at > t.newest_delivered_sent_at then
+               t.newest_delivered_sent_at <- seg.sent_at;
+             if seg.lost then begin
+               seg.lost <- false;
+               t.lost_bytes <- t.lost_bytes - seg.len
+             end;
+             remove_from_pipe t seg
+           end)
+         t.segments)
+    [@ccsim.alloc_ok "two sweep closures per sacked ack; acks without SACK blocks skip them"])
     sacks
 
-let handle_ack t (pkt : Packet.t) =
+(* Retire fully-acked segments from the scoreboard head. Recursion +
+   [Queue.peek]/[Queue.pop] rather than a [ref]-driven loop over
+   [Queue.peek_opt]: the per-ack path must not allocate cells or
+   options just to iterate. *)
+let[@ccsim.hot] rec retire_acked t =
+  if not (Queue.is_empty t.segments) then begin
+    let seg = Queue.peek t.segments in
+    if seg.seq + seg.len <= t.snd_una then begin
+      ignore (Queue.pop t.segments);
+      remove_from_pipe t seg;
+      if not seg.sacked then t.delivered_bytes <- t.delivered_bytes + seg.len;
+      if seg.sent_at > t.newest_delivered_sent_at then
+        t.newest_delivered_sent_at <- seg.sent_at;
+      if seg.lost then begin
+        seg.lost <- false;
+        t.lost_bytes <- t.lost_bytes - seg.len
+      end;
+      retire_acked t
+    end
+  end
+
+(* Append one (time, delivered) sample to the delivery-rate ring,
+   doubling the backing arrays when full. *)
+let[@ccsim.hot] ah_push t ~now =
+  let cap = Array.length t.ah_times in
+  if t.ah_len = cap then begin
+    (let cap' = if cap = 0 then 64 else 2 * cap in
+     let times = Array.make cap' 0.0 in
+     let delivered = Array.make cap' 0 in
+     for i = 0 to t.ah_len - 1 do
+       let j = (t.ah_head + i) mod (if cap = 0 then 1 else cap) in
+       times.(i) <- t.ah_times.(j);
+       delivered.(i) <- t.ah_delivered.(j)
+     done;
+     t.ah_times <- times;
+     t.ah_delivered <- delivered;
+     t.ah_head <- 0)
+    [@ccsim.alloc_ok "amortized ring doubling: O(log n) growth events over a run, not per ack"]
+  end;
+  let cap = Array.length t.ah_times in
+  let slot = (t.ah_head + t.ah_len) mod cap in
+  t.ah_times.(slot) <- now;
+  t.ah_delivered.(slot) <- t.delivered_bytes;
+  t.ah_len <- t.ah_len + 1
+
+let[@ccsim.hot] handle_ack t (pkt : Packet.t) =
   if t.stopped then ()
   else begin
     Sim.set_component t.sim "tcp";
@@ -392,7 +458,9 @@ let handle_ack t (pkt : Packet.t) =
        if now -. t.last_ecn_response > srtt then begin
          t.last_ecn_response <- now;
          t.ecn_responses <- t.ecn_responses + 1;
-         t.cca.Cca.on_loss { Cca.now; inflight = inflight t; mss = t.mss }
+         t.cca.Cca.on_loss
+           ({ Cca.now; inflight = inflight t; mss = t.mss }
+           [@ccsim.alloc_ok "one loss_info record per ECN response, rate-limited to once per RTT"])
        end);
     if pkt.ack > t.snd_una then begin
       let newly_acked = pkt.ack - t.snd_una in
@@ -401,62 +469,50 @@ let handle_ack t (pkt : Packet.t) =
       (* RTT from the ack's echoed transmit timestamp; Karn's rule skips
          acks triggered by retransmitted segments. *)
       let rtt_sample =
-        if pkt.echo > 0.0 && not pkt.retx then Some (now -. pkt.echo) else None
+        (if pkt.echo > 0.0 && not pkt.retx then Some (now -. pkt.echo) else None)
+        [@ccsim.alloc_ok "the CCA interface carries the RTT sample as an option"]
       in
       (match rtt_sample with
       | Some r when r > 0.0 -> Rtt_estimator.observe t.rtt r
       | Some _ | None -> ());
-      (* Retire fully-acked segments. *)
-      let continue = ref true in
-      while !continue do
-        match Queue.peek_opt t.segments with
-        | Some seg when seg.seq + seg.len <= t.snd_una ->
-            ignore (Queue.pop t.segments);
-            remove_from_pipe t seg;
-            if not seg.sacked then t.delivered_bytes <- t.delivered_bytes + seg.len;
-            if seg.sent_at > t.newest_delivered_sent_at then
-              t.newest_delivered_sent_at <- seg.sent_at;
-            if seg.lost then begin
-              seg.lost <- false;
-              t.lost_bytes <- t.lost_bytes - seg.len
-            end
-        | Some _ | None -> continue := false
-      done;
+      retire_acked t;
       (* Delivery rate: acked bytes over a sliding window of roughly one
          smoothed RTT (floor 20 ms). Windowed averaging is robust to the
          bursty cumulative-ack jumps SACK recovery produces. The baseline
          is the most recent point that has aged out of the window. *)
-      Queue.push (now, t.delivered_bytes) t.ack_history;
+      ah_push t ~now;
       let window = Float.max 0.02 (Rtt_estimator.srtt t.rtt) in
-      let continue_trim = ref true in
-      while !continue_trim do
-        match Queue.peek_opt t.ack_history with
-        | Some (ts, _) when ts <= now -. window -> t.rate_baseline <- Queue.take_opt t.ack_history
-        | Some _ | None -> continue_trim := false
+      while t.ah_len > 0 && t.ah_times.(t.ah_head) <= now -. window do
+        t.rate_t0.(0) <- t.ah_times.(t.ah_head);
+        t.rate_d0 <- t.ah_delivered.(t.ah_head);
+        t.rate_valid <- true;
+        t.ah_head <- (t.ah_head + 1) mod Array.length t.ah_times;
+        t.ah_len <- t.ah_len - 1
       done;
-      (match t.rate_baseline with
-      | Some (t0, d0) when now > t0 ->
-          t.last_delivery_rate <- float_of_int (t.delivered_bytes - d0) *. 8.0 /. (now -. t0)
-      | Some _ | None -> ());
+      if t.rate_valid && now > t.rate_t0.(0) then
+        t.last_delivery_rate.(0) <-
+          float_of_int (t.delivered_bytes - t.rate_d0) *. 8.0 /. (now -. t.rate_t0.(0));
       let app_limited_sample = app_limited_now t && inflight t < t.mss * 4 in
       detect_losses t;
       if t.lost_bytes > 0 then enter_recovery t;
       if t.in_recovery && t.snd_una >= t.recover then begin
         t.in_recovery <- false;
-        t.recovery_s <- t.recovery_s +. (now -. t.recovery_since)
+        ((t.recovery_s <- t.recovery_s +. (now -. t.recovery_since))
+        [@ccsim.alloc_ok "one float box per recovery episode, not per ack"])
       end;
       let ack_info =
-        {
-          Cca.now;
-          rtt_sample;
-          srtt = Rtt_estimator.srtt t.rtt;
-          min_rtt = Rtt_estimator.min_rtt t.rtt;
-          newly_acked;
-          inflight = inflight t;
-          delivery_rate = t.last_delivery_rate;
-          app_limited = app_limited_sample;
-          mss = t.mss;
-        }
+        ({
+           Cca.now;
+           rtt_sample;
+           srtt = Rtt_estimator.srtt t.rtt;
+           min_rtt = Rtt_estimator.min_rtt t.rtt;
+           newly_acked;
+           inflight = inflight t;
+           delivery_rate = t.last_delivery_rate.(0);
+           app_limited = app_limited_sample;
+           mss = t.mss;
+         }
+        [@ccsim.alloc_ok "the CCA interface takes one ack_info record per cumulative ack"])
       in
       t.cca.Cca.on_ack ack_info;
       arm_rto t;
@@ -469,10 +525,9 @@ let handle_ack t (pkt : Packet.t) =
       if inflight t > 0 then begin
         t.dupacks <- t.dupacks + 1;
         detect_losses t;
-        if t.dupacks >= 3 then begin
-          match Queue.peek_opt t.segments with
-          | Some seg when (not seg.sacked) && seg.retx_count = 0 -> mark_lost t seg
-          | Some _ | None -> ()
+        if t.dupacks >= 3 && not (Queue.is_empty t.segments) then begin
+          let seg = Queue.peek t.segments in
+          if (not seg.sacked) && seg.retx_count = 0 then mark_lost t seg
         end;
         if t.lost_bytes > 0 then enter_recovery t;
         try_send t
@@ -505,11 +560,12 @@ let info t =
   let now = Sim.now t.sim in
   (* Flush the in-progress limited interval without changing state. *)
   let extra = now -. t.limited_since in
-  let app = t.app_limited_s +. (match t.limited_state with App -> extra | _ -> 0.0) in
-  let rwnd = t.rwnd_limited_s +. (match t.limited_state with Rwnd -> extra | _ -> 0.0) in
-  let cwnd = t.cwnd_limited_s +. (match t.limited_state with Cwnd -> extra | _ -> 0.0) in
+  let limited st = t.limited_s.(limited_index st) in
+  let app = limited App +. (match t.limited_state with App -> extra | _ -> 0.0) in
+  let rwnd = limited Rwnd +. (match t.limited_state with Rwnd -> extra | _ -> 0.0) in
+  let cwnd = limited Cwnd +. (match t.limited_state with Cwnd -> extra | _ -> 0.0) in
   let pacing =
-    t.pacing_limited_s +. (match t.limited_state with Pacing -> extra | _ -> 0.0)
+    limited Pacing +. (match t.limited_state with Pacing -> extra | _ -> 0.0)
   in
   let recovery =
     t.recovery_s +. if t.in_recovery then now -. t.recovery_since else 0.0
@@ -523,7 +579,7 @@ let info t =
     cwnd_bytes = t.cca.Cca.cwnd;
     srtt = Rtt_estimator.srtt t.rtt;
     min_rtt = Rtt_estimator.min_rtt t.rtt;
-    delivery_rate_bps = t.last_delivery_rate;
+    delivery_rate_bps = t.last_delivery_rate.(0);
     app_limited_s = app;
     rwnd_limited_s = rwnd;
     cwnd_limited_s = cwnd;
@@ -576,24 +632,25 @@ let create sim ~flow ~cca ~path ?(mss = Ccsim_util.Units.mss) ?(on_complete = fu
     last_ecn_response = neg_infinity;
     ecn_responses = 0;
     rto_event = None;
-    pace_next = 0.0;
+    pace_next = Array.make 1 0.0;
     pace_pending = false;
     started_at = Sim.now sim;
     bytes_sent = 0;
     bytes_retrans = 0;
     segs_retrans = 0;
     rto_count = 0;
-    last_delivery_rate = 0.0;
-    ack_history = Queue.create ();
-    rate_baseline = None;
+    last_delivery_rate = Array.make 1 0.0;
+    ah_times = [||];
+    ah_delivered = [||];
+    ah_head = 0;
+    ah_len = 0;
+    rate_t0 = Array.make 1 0.0;
+    rate_d0 = 0;
+    rate_valid = false;
     delivered_bytes = 0;
     limited_state = Not_started;
     limited_since = Sim.now sim;
-    app_limited_s = 0.0;
-    rwnd_limited_s = 0.0;
-    cwnd_limited_s = 0.0;
-    pacing_limited_s = 0.0;
-    busy_s = 0.0;
+    limited_s = Array.make 6 0.0;
     recovery_since = 0.0;
     recovery_s = 0.0;
       m_retransmits = counter "tcp_retransmits_total";

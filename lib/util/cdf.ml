@@ -3,7 +3,7 @@ type t = { sorted : float array }
 let of_samples xs =
   if Array.length xs = 0 then invalid_arg "Cdf.of_samples: empty array";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   { sorted }
 
 let count t = Array.length t.sorted
@@ -40,7 +40,7 @@ let points t =
     let x = t.sorted.(!i) in
     (* Skip duplicates, keeping the highest rank for each x. *)
     (match !acc with
-    | (x', _) :: _ when x' = x -> ()
+    | (x', _) :: _ when Float.equal x' x -> ()
     | _ -> acc := (x, float_of_int (!i + 1) /. float_of_int n) :: !acc);
     decr i
   done;

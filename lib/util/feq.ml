@@ -13,6 +13,8 @@
 (* lint: allow R3 -- this module implements the sanctioned comparison *)
 let feq ~eps a b =
   if not (eps >= 0.0) then invalid_arg "Feq.feq: eps must be non-negative";
-  a = b || Float.abs (a -. b) <= eps
+  (* The exact-equality fast path stays polymorphic [=] on purpose:
+     [Float.equal] would make [feq nan nan] true, changing semantics. *)
+  (a = b) [@lint.allow R6] || Float.abs (a -. b) <= eps
 
 let fne ~eps a b = not (feq ~eps a b)

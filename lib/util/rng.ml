@@ -37,7 +37,7 @@ let int t bound =
   in
   draw ()
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let bool t = Int64.equal (Int64.logand (bits64 t) 1L) 1L
 
 let bernoulli t ~p =
   if p <= 0.0 then false

@@ -19,11 +19,11 @@ let stddev xs = sqrt (variance xs)
 
 let minimum xs =
   check_nonempty "Stats.minimum" xs;
-  Array.fold_left min xs.(0) xs
+  Array.fold_left Float.min xs.(0) xs
 
 let maximum xs =
   check_nonempty "Stats.maximum" xs;
-  Array.fold_left max xs.(0) xs
+  Array.fold_left Float.max xs.(0) xs
 
 let percentile_sorted sorted p =
   let n = Array.length sorted in
@@ -43,7 +43,7 @@ let percentile xs p =
   check_nonempty "Stats.percentile" xs;
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of [0,100]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   percentile_sorted sorted p
 
 let median xs = percentile xs 50.0
@@ -69,7 +69,7 @@ type summary = {
 let summarize xs =
   check_nonempty "Stats.summarize" xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let pct = percentile_sorted sorted in
   {
     count = Array.length xs;

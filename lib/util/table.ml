@@ -9,7 +9,7 @@ type t = {
 }
 
 let create ~columns =
-  if columns = [] then invalid_arg "Table.create: no columns";
+  if (match columns with [] -> true | _ :: _ -> false) then invalid_arg "Table.create: no columns";
   { headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
 
 let add_row t cells =

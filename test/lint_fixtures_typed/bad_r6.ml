@@ -1,0 +1,10 @@
+(* R6 fixture: polymorphic comparison instantiated at non-immediate
+   types -- a record, a float (nan-wrong), and max over strings. *)
+
+type point = { x : float; y : float }
+
+let same_point (a : point) (b : point) = a = b
+
+let float_eq (u : float) (v : float) = u = v
+
+let biggest (a : string) (b : string) = max a b

@@ -1,0 +1,11 @@
+(* R7 fixture: unit-mismatched arithmetic the dimensional analysis must
+   catch -- an additive mix, a cross-dimension comparison, and a
+   declared-vs-inferred let binding. *)
+
+let bad_sum (dur_s : float) (rate_bps : float) = dur_s +. rate_bps
+
+let bad_cmp (win_bytes : float) (budget_pkts : float) = win_bytes < budget_pkts
+
+let bad_decl (size_bytes : float) (dur_s : float) =
+  let speed_s = size_bytes /. dur_s in
+  speed_s

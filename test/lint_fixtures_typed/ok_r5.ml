@@ -1,0 +1,12 @@
+(* R5 twin: the same allocations, silent because each is reviewed via
+   [@ccsim.alloc_ok "why"] -- once on an expression, once on the whole
+   binding. *)
+
+type acc = { mutable total : int }
+
+let[@ccsim.hot] sum_pairs acc xs =
+  (List.iter (fun (a, b) -> acc.total <- acc.total + a + b) xs
+  [@ccsim.alloc_ok "fixture: iteration closure is setup, not steady-state"])
+
+let[@ccsim.hot] [@ccsim.alloc_ok "fixture: tuple return is the documented API"] make_pair a b =
+  (a, b)

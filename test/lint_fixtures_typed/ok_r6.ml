@@ -1,0 +1,8 @@
+(* R6 twin: the same polymorphic comparisons, silent under the
+   attribute-based suppression [@lint.allow R6]. *)
+
+type point = { x : float; y : float }
+
+let same_point (a : point) (b : point) = (a = b) [@lint.allow R6]
+
+let biggest (a : string) (b : string) = (max a b) [@lint.allow R6]

@@ -79,7 +79,8 @@ let test_json_shape () =
     (String.length json > 1 && json.[0] = '[');
   List.iter
     (fun field -> Alcotest.(check bool) ("has " ^ field) true (has ("\"" ^ field ^ "\": ")))
-    [ "file"; "line"; "col"; "rule"; "message" ];
+    [ "file"; "line"; "col"; "rule"; "stage"; "message" ];
+  Alcotest.(check bool) "parse findings say so" true (has "\"stage\": \"parse\"");
   Alcotest.(check bool) "carries the path" true (has (fixture "bad_r3_float_eq.ml"));
   Alcotest.(check bool) "carries the rule" true (has "\"rule\": \"R3\"")
 
@@ -158,6 +159,118 @@ let test_repo_tree_is_clean () =
         (String.length e.L.a_justification > 10))
     allow
 
+(* Typed-stage fixtures (R5-R7): lint_fixtures_typed/ is a compiled
+   library, so its .cmt files sit next to the copied sources in the
+   build tree. Resolve the cmt root and the source root (for
+   comment-form suppression recovery) from either cwd, as above. *)
+let typed_cmt_root, typed_source_root =
+  if Sys.file_exists "lint_fixtures_typed" then ("lint_fixtures_typed", "..")
+  else ("_build/default/test/lint_fixtures_typed", ".")
+
+let typed_findings =
+  lazy
+    (Lint_typed.scan
+       ~source_roots:[ typed_source_root ]
+       ~cmt_roots:[ typed_cmt_root ]
+       ~paths:[ "test/lint_fixtures_typed" ] ())
+
+let typed_for name =
+  List.filter
+    (fun (f : L.finding) ->
+      String.equal f.L.file ("test/lint_fixtures_typed/" ^ name))
+    (Lazy.force typed_findings)
+
+let check_typed ~name ~expected () =
+  Alcotest.(check (list (triple string int int))) name expected (summarize (typed_for name))
+
+let test_r5_typed =
+  check_typed ~name:"bad_r5.ml"
+    ~expected:[ ("R5", 8, 12); ("R5", 10, 32); ("R5", 12, 25) ]
+
+let test_r6_typed =
+  check_typed ~name:"bad_r6.ml"
+    ~expected:[ ("R6", 6, 43); ("R6", 8, 41); ("R6", 10, 40) ]
+
+let test_r7_typed =
+  check_typed ~name:"bad_r7.ml"
+    ~expected:[ ("R7", 5, 55); ("R7", 7, 66); ("R7", 10, 6) ]
+
+let test_typed_twins_silent () =
+  (* Each bad fixture has an ok twin carrying the documented escape
+     hatch — [@ccsim.alloc_ok "why"], [@lint.allow R6], and the
+     comment-form annotation respectively. All must be silent. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check (list (triple string int int))) name [] (summarize (typed_for name)))
+    [ "ok_r5.ml"; "ok_r6.ml"; "ok_r7.ml" ]
+
+let test_typed_stage_field () =
+  let fs = Lazy.force typed_findings in
+  Alcotest.(check bool) "typed fixtures produced findings" true (fs <> []);
+  List.iter
+    (fun (f : L.finding) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s:%d stage" f.L.file f.L.line)
+        "typed" f.L.stage)
+    fs
+
+let test_r7_and_r4_overlap () =
+  (* The suffix heuristic (parse-stage R4) and the dimensional analysis
+     (typed R7) both catch bad_r7's direct mixes at the same sites; only
+     R7 sees through the let binding at 10:6, where the mismatched unit
+     arrives via a propagated inferred dimension rather than a suffix
+     pair. *)
+  let src =
+    if Sys.file_exists "lint_fixtures_typed" then "lint_fixtures_typed/bad_r7.ml"
+    else "test/lint_fixtures_typed/bad_r7.ml"
+  in
+  let parse = summarize (L.scan_file src) in
+  Alcotest.(check (list (triple string int int)))
+    "parse stage sees the suffix mixes" [ ("R4", 5, 55); ("R4", 7, 66) ] parse
+
+let test_sarif_shape () =
+  let findings = L.scan_file (fixture "bad_r3_float_eq.ml") @ typed_for "bad_r5.ml" in
+  let sarif = L.render_sarif findings in
+  let has affix = contains ~affix sarif in
+  Alcotest.(check bool) "declares 2.1.0" true (has "\"version\": \"2.1.0\"");
+  Alcotest.(check bool) "points at the 2.1.0 schema" true (has "sarif-schema-2.1.0.json");
+  Alcotest.(check bool) "driver is ccsim-lint" true (has "\"name\": \"ccsim-lint\"");
+  (* All seven rules are described, findings or not... *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) ("descriptor for " ^ r) true (has ("{\"id\": \"" ^ r ^ "\"")))
+    [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ];
+  (* ...and each finding becomes a result with a physical location. *)
+  Alcotest.(check bool) "R3 result" true (has "\"ruleId\": \"R3\"");
+  Alcotest.(check bool) "R5 result" true (has "\"ruleId\": \"R5\"");
+  Alcotest.(check bool) "carries the fixture uri" true
+    (has "lint_fixtures_typed/bad_r5.ml");
+  Alcotest.(check bool) "locations are physical" true (has "\"physicalLocation\"");
+  let empty = L.render_sarif [] in
+  Alcotest.(check bool) "clean tree still declares 2.1.0" true
+    (contains ~affix:"\"version\": \"2.1.0\"" empty);
+  Alcotest.(check bool) "clean tree has an empty results array" true
+    (contains ~affix:"\"results\": []" empty)
+
+let test_repo_tree_typed_clean () =
+  (* The typed rules must hold over the whole tree with only in-source
+     escape hatches — there are no typed entries in lint.allow, so the
+     scan itself must come back empty. Mirrors `dune build @lint`. *)
+  (* The .cmt files live in the build context, not the source tree:
+     resolve its root the same way as the fixture cmt root above. *)
+  let build_root =
+    if Sys.file_exists "lint_fixtures_typed" then ".." else "_build/default"
+  in
+  let roots =
+    List.map (Filename.concat build_root) [ "lib"; "bin"; "bench"; "tools" ]
+  in
+  let findings =
+    Lint_typed.scan ~source_roots:[ build_root ] ~cmt_roots:roots
+      ~paths:[ "lib"; "bin"; "bench"; "tools" ] ()
+  in
+  Alcotest.(check (list string)) "typed stage: no findings"
+    [] (List.map L.render_finding findings)
+
 let suite =
   [
     Alcotest.test_case "R1 fixture: exact findings" `Quick test_r1;
@@ -174,4 +287,13 @@ let suite =
     Alcotest.test_case "allowlist: justification mandatory" `Quick
       test_allowlist_requires_justification;
     Alcotest.test_case "repo tree: lint-clean under lint.allow" `Quick test_repo_tree_is_clean;
+    Alcotest.test_case "R5 fixture: exact findings" `Quick test_r5_typed;
+    Alcotest.test_case "R6 fixture: exact findings" `Quick test_r6_typed;
+    Alcotest.test_case "R7 fixture: exact findings" `Quick test_r7_typed;
+    Alcotest.test_case "typed twins: silent under escape hatches" `Quick
+      test_typed_twins_silent;
+    Alcotest.test_case "typed findings carry stage = typed" `Quick test_typed_stage_field;
+    Alcotest.test_case "R4/R7 overlap on suffix-visible mixes" `Quick test_r7_and_r4_overlap;
+    Alcotest.test_case "sarif: shape, descriptors, results" `Quick test_sarif_shape;
+    Alcotest.test_case "repo tree: typed stage clean" `Quick test_repo_tree_typed_clean;
   ]

@@ -32,13 +32,17 @@ type finding = {
   col : int;
   rule : string;
   message : string;
+  stage : string;
 }
 
 let compare_finding a b =
-  match compare a.file b.file with
+  match String.compare a.file b.file with
   | 0 -> (
-      match compare a.line b.line with
-      | 0 -> ( match compare a.col b.col with 0 -> compare a.rule b.rule | c -> c)
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
       | c -> c)
   | c -> c
 
@@ -58,12 +62,12 @@ exception Malformed_allow of string
 
 let parse_allow_line ~line_no line =
   let trimmed = String.trim line in
-  if trimmed = "" || trimmed.[0] = '#' then None
+  if String.equal trimmed "" || trimmed.[0] = '#' then None
   else
     match String.split_on_char ' ' trimmed with
-    | rule :: path :: rest when rest <> [] ->
+    | rule :: path :: rest when (match rest with [] -> false | _ :: _ -> true) ->
         let justification = String.trim (String.concat " " rest) in
-        if justification = "" then
+        if String.equal justification "" then
           raise
             (Malformed_allow
                (Printf.sprintf "line %d: missing justification for %s %s" line_no rule path))
@@ -103,7 +107,7 @@ let load_allowlist path =
 
 let contains ~needle hay =
   let nl = String.length needle and hl = String.length hay in
-  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  let rec go i = i + nl <= hl && (String.equal (String.sub hay i nl) needle || go (i + 1)) in
   go 0
 
 let rules_of_annotation line =
@@ -113,7 +117,7 @@ let rules_of_annotation line =
     (* Take every R<digits> token after the marker. *)
     let idx =
       let nl = String.length "lint: allow" and hl = String.length line in
-      let rec go i = if i + nl > hl then hl else if String.sub line i nl = "lint: allow" then i + nl else go (i + 1) in
+      let rec go i = if i + nl > hl then hl else if String.equal (String.sub line i nl) "lint: allow" then i + nl else go (i + 1) in
       go 0
     in
     let tail = String.sub line idx (String.length line - idx) in
@@ -130,6 +134,84 @@ let rules_of_annotation line =
     in
     rules @ explicit
   end
+
+(* Attribute-based suppression: [@lint.allow R5 R6] on an expression or
+   value binding suppresses the listed rules over the whole source span
+   of the annotated node — the escape hatch for multi-line functions,
+   where the comment form's L/L+1 window would need stacking. The
+   payload is scanned structurally for R<digits> tokens, so `R5`,
+   `R5 R6`, and `(R5, R6)` all parse. Shared with the typed stage
+   (Typedtree nodes carry the same Parsetree attributes). *)
+
+let is_rule_token t =
+  String.length t >= 2
+  && t.[0] = 'R'
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub t 1 (String.length t - 1))
+
+let rules_of_allow_payload (payload : Parsetree.payload) =
+  let acc = ref [] in
+  let note = function
+    | Longident.Lident t when is_rule_token t -> acc := t :: !acc
+    | _ -> ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { txt; _ } | Parsetree.Pexp_construct ({ txt; _ }, _) ->
+              note txt
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  (match payload with
+  | Parsetree.PStr str -> it.Ast_iterator.structure it str
+  | _ -> ());
+  List.rev !acc
+
+let rules_of_allow_attrs (attrs : Parsetree.attributes) =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if String.equal a.attr_name.txt "lint.allow" then rules_of_allow_payload a.attr_payload else [])
+    attrs
+
+(* (rule, first_line, last_line) regions from [@lint.allow ...] attrs. *)
+type allow_region = { r_rule : string; r_first : int; r_last : int }
+
+let region_of_loc rules (loc : Location.t) =
+  let first = loc.loc_start.Lexing.pos_lnum and last = loc.loc_end.Lexing.pos_lnum in
+  List.map (fun r -> { r_rule = r; r_first = first; r_last = last }) rules
+
+let allow_regions_of_structure str =
+  let regions = ref [] in
+  let note rules loc = regions := region_of_loc rules loc @ !regions in
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      expr =
+        (fun self e ->
+          (match rules_of_allow_attrs e.Parsetree.pexp_attributes with
+          | [] -> ()
+          | rules -> note rules e.Parsetree.pexp_loc);
+          default.expr self e);
+      value_binding =
+        (fun self vb ->
+          (match rules_of_allow_attrs vb.Parsetree.pvb_attributes with
+          | [] -> ()
+          | rules -> note rules vb.Parsetree.pvb_loc);
+          default.value_binding self vb);
+    }
+  in
+  it.Ast_iterator.structure it str;
+  !regions
+
+let region_suppresses regions (f : finding) =
+  List.exists
+    (fun r -> String.equal r.r_rule f.rule && f.line >= r.r_first && f.line <= r.r_last)
+    regions
 
 (* Map line number -> rules suppressed on that line. *)
 let suppressions_of_source src =
@@ -220,7 +302,7 @@ let suffix_of suffixes name =
   List.find_opt
     (fun suf ->
       let nl = String.length name and sl = String.length suf in
-      nl > sl && String.sub name (nl - sl) sl = suf)
+      nl > sl && String.equal (String.sub name (nl - sl) sl) suf)
     suffixes
 
 let float_operators = [ "+."; "-."; "*."; "/."; "**" ]
@@ -235,8 +317,8 @@ let rec floatish e =
   | Pexp_ident { txt = Longident.Lident ("infinity" | "neg_infinity" | "nan" | "epsilon_float" | "max_float" | "min_float"); _ } ->
       true
   | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Float", _); _ } -> true
-  | Pexp_ident { txt; _ } -> suffix_of float_suffixes (last_component txt) <> None
-  | Pexp_field (_, { txt; _ }) -> suffix_of float_suffixes (last_component txt) <> None
+  | Pexp_ident { txt; _ } -> Option.is_some (suffix_of float_suffixes (last_component txt))
+  | Pexp_field (_, { txt; _ }) -> Option.is_some (suffix_of float_suffixes (last_component txt))
   | Pexp_constraint (inner, { ptyp_desc = Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []); _ }) ->
       ignore inner;
       true
@@ -270,7 +352,8 @@ type context = {
 
 let emit ctx loc rule message =
   let line, col = pos_of loc in
-  ctx.findings <- ({ file = ctx.file; line; col; rule; message } : finding) :: ctx.findings
+  ctx.findings <-
+    ({ file = ctx.file; line; col; rule; message; stage = "parse" } : finding) :: ctx.findings
 
 let check_expr ctx e =
   (* Uses are checked on the bare ident: the iterator visits the callee
@@ -319,7 +402,7 @@ let check_expr ctx e =
                changes; use Ccsim_util.Feq.feq ~eps (eps = 0. preserves exact semantics)"
               op));
       (match (unit_suffix_of_operand a, unit_suffix_of_operand b) with
-      | Some sa, Some sb when sa <> sb ->
+      | Some sa, Some sb when not (String.equal sa sb) ->
           emit ctx loc "R4"
             (Printf.sprintf "unit mismatch: operands of %s carry different unit suffixes (%s vs %s)"
                op sa sb)
@@ -328,7 +411,7 @@ let check_expr ctx e =
       ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; loc; _ }; _ }, [ (_, a); (_, b) ])
     when List.mem op additive_or_comparison -> (
       match (unit_suffix_of_operand a, unit_suffix_of_operand b) with
-      | Some sa, Some sb when sa <> sb ->
+      | Some sa, Some sb when not (String.equal sa sb) ->
           emit ctx loc "R4"
             (Printf.sprintf "unit mismatch: operands of %s carry different unit suffixes (%s vs %s)"
                op sa sb)
@@ -386,9 +469,11 @@ let scan_source ~file ?(wall_clock_exempt = false) src =
   let it = expr_iterator ctx in
   it.Ast_iterator.structure it str;
   let suppressed = suppressions_of_source src in
+  let regions = allow_regions_of_structure str in
   let findings =
     List.filter
-      (fun (f : finding) -> not (Hashtbl.mem suppressed (f.line, f.rule)))
+      (fun (f : finding) ->
+        (not (Hashtbl.mem suppressed (f.line, f.rule))) && not (region_suppresses regions f))
       ctx.findings
   in
   List.sort_uniq compare_finding findings
@@ -398,7 +483,7 @@ let scan_source ~file ?(wall_clock_exempt = false) src =
 let wall_clock_exempt_dirs = [ "lib/runner"; "lib/obs" ]
 
 let normalize path =
-  String.concat "/" (List.filter (fun c -> c <> "" && c <> ".") (String.split_on_char '/' path))
+  String.concat "/" (List.filter (fun c -> not (String.equal c "") && not (String.equal c ".")) (String.split_on_char '/' path))
 
 (* Exemption is by repo-relative directory, so leading parent segments
    (a scan rooted above the repo, as the test suite does) are ignored. *)
@@ -408,7 +493,7 @@ let is_exempt path =
   List.exists
     (fun dir ->
       let dl = String.length dir in
-      String.length p > dl && String.sub p 0 dl = dir && p.[dl] = '/')
+      String.length p > dl && String.equal (String.sub p 0 dl) dir && p.[dl] = '/')
     wall_clock_exempt_dirs
 
 exception Scan_error of string
@@ -431,7 +516,7 @@ let scan_file path =
 
 let rec ml_files_under path =
   if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort compare
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
     |> List.concat_map (fun entry -> ml_files_under (Filename.concat path entry))
   else if Filename.check_suffix path ".ml" then [ path ]
   else []
@@ -449,7 +534,7 @@ let apply_allowlist entries findings =
   let used = Hashtbl.create 8 in
   let survives (f : finding) =
     match
-      List.find_opt (fun e -> e.a_rule = f.rule && normalize e.a_path = f.file) entries
+      List.find_opt (fun e -> String.equal e.a_rule f.rule && String.equal (normalize e.a_path) f.file) entries
     with
     | Some e ->
         Hashtbl.replace used (e.a_rule, e.a_path) ();
@@ -487,9 +572,89 @@ let render_json findings =
     (fun i (f : finding) ->
       if i > 0 then Buffer.add_string buf ",";
       Printf.bprintf buf
-        "\n  {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \"message\": \"%s\"}"
-        (json_escape f.file) f.line f.col f.rule (json_escape f.message))
+        "\n  {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \"stage\": \"%s\", \
+         \"message\": \"%s\"}"
+        (json_escape f.file) f.line f.col f.rule (json_escape f.stage) (json_escape f.message))
     findings;
-  if findings <> [] then Buffer.add_string buf "\n";
+  if (match findings with [] -> false | _ :: _ -> true) then Buffer.add_string buf "\n";
   Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* SARIF 2.1.0 export: one run, one rule descriptor per catalogue entry,
+   results referencing rules by id so GitHub code scanning annotates
+   PRs. Columns are 1-based in SARIF; findings carry 0-based columns as
+   compiler diagnostics do, hence the +1. *)
+
+let rule_catalogue =
+  [
+    ("R1", "parse", "top-level mutable state",
+     "Module-level mutable storage races under the runner domain pool; use Atomic.t, \
+      Domain.DLS, or per-instance state.");
+    ("R2", "parse", "nondeterminism sources",
+     "Global Random, wall-clock or host-GC reads outside lib/runner and lib/obs, and \
+      hash-order Hashtbl.iter/fold break bit-determinism.");
+    ("R3", "parse", "structural float equality",
+     "= / <> on float-looking operands silently breaks detector thresholds; use \
+      Ccsim_util.Feq.feq ~eps.");
+    ("R4", "parse", "unit-suffix mixing",
+     "Additive or comparison operators whose operands carry different unit suffixes \
+      (_s vs _bps ...).");
+    ("R5", "typed", "allocation in [@ccsim.hot] code",
+     "Functions annotated [@ccsim.hot] and everything they contain must not allocate: \
+      closures, tuples, records, variants, strings, partial applications, allocating \
+      stdlib calls. Escape hatch: [@ccsim.alloc_ok \"why\"].");
+    ("R6", "typed", "polymorphic comparison at a non-immediate type",
+     "Stdlib.(=)/(<>)/compare/min/max/Hashtbl.hash instantiated at a type other than \
+      int/bool/char/unit walks memory generically: slow in the DES inner loop and wrong \
+      on floats (nan) and cyclic values. Use the monomorphic comparison of the type.");
+    ("R7", "typed", "unit mismatch (dimensional analysis)",
+     "Units inferred from name suffixes and propagated through arithmetic disagree \
+      across +/-/comparison. * and / combine dimensions; scale prefixes are ignored.");
+  ]
+
+let render_sarif findings =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "{\n\
+    \  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"runs\": [\n\
+    \    {\n\
+    \      \"tool\": {\n\
+    \        \"driver\": {\n\
+    \          \"name\": \"ccsim-lint\",\n\
+    \          \"informationUri\": \"tools/lint/RULES.md\",\n\
+    \          \"rules\": [\n";
+  List.iteri
+    (fun i (id, stage, name, help) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "            {\"id\": \"%s\", \"name\": \"%s\", \"shortDescription\": {\"text\": \
+         \"%s\"}, \"fullDescription\": {\"text\": \"%s\"}, \"properties\": {\"stage\": \
+         \"%s\"}}"
+        id id (json_escape name) (json_escape help) stage)
+    rule_catalogue;
+  Buffer.add_string buf "\n          ]\n        }\n      },\n      \"results\": [";
+  (match findings with [] -> () | _ :: _ -> Buffer.add_string buf "\n");
+  List.iteri
+    (fun i (f : finding) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      let rule_index =
+        let rec idx n = function
+          | [] -> -1
+          | (id, _, _, _) :: rest -> if String.equal id f.rule then n else idx (n + 1) rest
+        in
+        idx 0 rule_catalogue
+      in
+      Printf.bprintf buf
+        "        {\"ruleId\": \"%s\", \"ruleIndex\": %d, \"level\": \"error\", \
+         \"message\": {\"text\": \"%s\"}, \"locations\": [{\"physicalLocation\": \
+         {\"artifactLocation\": {\"uri\": \"%s\"}, \"region\": {\"startLine\": %d, \
+         \"startColumn\": %d}}}]}"
+        f.rule rule_index (json_escape f.message) (json_escape f.file) f.line (f.col + 1))
+    findings;
+  (match findings with
+  | [] -> Buffer.add_string buf "]\n    }\n  ]\n}\n"
+  | _ :: _ -> Buffer.add_string buf "\n      ]\n    }\n  ]\n}\n");
   Buffer.contents buf
